@@ -1,0 +1,100 @@
+// Ablation: how tight are the paper's closed-form epsilon bounds against
+// the exact log-domain computations, across the construction parameter l?
+//
+// Covers Lemma 3.15 / Theorem 3.16 (e^{-l^2}), Lemma 4.3 (2e^{-l^2/6} at
+// b = n/3), Lemma 4.5 (eps_alpha at b = alpha n) and Theorem 5.10 (the
+// psi_1/psi_2 bound for masking).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/epsilon.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Ablation: exact epsilon vs the paper's closed-form bounds");
+
+  for (std::int64_t n : {100, 400, 900}) {
+    std::cout << "\n-- n = " << n
+              << " : eps-intersecting (Thm 3.16) and (n/3, eps)-dissemination "
+                 "(Lemma 4.3) --\n";
+    util::TextTable t({"l", "q", "exact eps", "e^{-l^2}", "ratio",
+                       "exact dissem eps (b=n/3)", "2e^{-l^2/6}", "ratio"});
+    for (double l = 1.0; l <= 3.51; l += 0.25) {
+      const auto q =
+          static_cast<std::int64_t>(std::lround(l * std::sqrt(double(n))));
+      if (q < 1 || q > n / 3 * 2) continue;
+      const double exact = core::nonintersection_exact(n, q);
+      const double bound = core::nonintersection_bound(n, q);
+      const double dx = core::dissemination_epsilon_exact(n, q, n / 3);
+      const double db = core::dissemination_bound_third(n, q);
+      t.row()
+          .cell(l, 2)
+          .cell(static_cast<long long>(q))
+          .cell_sci(exact, 2)
+          .cell_sci(bound, 2)
+          .cell(exact > 0 ? bound / exact : 0.0, 1)
+          .cell_sci(dx, 2)
+          .cell_sci(db, 2)
+          .cell(dx > 0 ? db / dx : 0.0, 1);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n-- Lemma 4.5: b = alpha n, n = 900 --\n";
+  {
+    util::TextTable t({"alpha", "q", "exact eps", "eps_alpha bound", "ratio"});
+    const std::int64_t n = 900;
+    for (double alpha : {0.4, 0.5, 0.6, 0.75}) {
+      const auto b = static_cast<std::int64_t>(alpha * n);
+      // Pick q near the largest allowed (best epsilon) and a mid value.
+      for (std::int64_t q :
+           {static_cast<std::int64_t>((n - b) / 2), n - b - 1}) {
+        const double exact = core::dissemination_epsilon_exact(n, q, b);
+        const double bound = core::dissemination_bound_alpha(n, q, alpha);
+        t.row()
+            .cell(alpha, 2)
+            .cell(static_cast<long long>(q))
+            .cell_sci(exact, 2)
+            .cell_sci(bound, 2)
+            .cell(exact > 0 ? bound / exact : 0.0, 1);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n-- Theorem 5.10: masking, b = sqrt(n) --\n";
+  {
+    util::TextTable t({"n", "l=q/b", "q", "k", "exact eps", "psi bound",
+                       "ratio"});
+    for (std::int64_t n : {100, 400, 900}) {
+      const std::int64_t b = bench::isqrt(static_cast<std::uint32_t>(n));
+      for (double l : {3.0, 4.0, 5.0, 6.0}) {
+        const auto q = static_cast<std::int64_t>(std::lround(l * double(b)));
+        if (q > n - b) continue;
+        const auto k = core::masking_threshold(n, q);
+        const double exact = core::masking_epsilon_exact(n, q, b, k);
+        const double bound = core::masking_bound(n, q, b);
+        t.row()
+            .cell(static_cast<long long>(n))
+            .cell(l, 1)
+            .cell(static_cast<long long>(q))
+            .cell(static_cast<long long>(k))
+            .cell_sci(exact, 2)
+            .cell_sci(bound, 2)
+            .cell(exact > 1e-300 ? bound / exact : 0.0, 1);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout
+      << "\nReading: the e^{-l^2} bound is within a small constant of exact\n"
+         "for l <= 2.5; the Byzantine bounds (Lemmas 4.3/4.5, Thm 5.10) are\n"
+         "orders of magnitude loose — which is why Section 6's tables must\n"
+         "be generated from exact computations, as this library does.\n";
+  return 0;
+}

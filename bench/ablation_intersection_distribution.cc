@@ -1,0 +1,75 @@
+// Ablation: the birthday-paradox intuition of Section 3.4, made exact.
+//
+// "the expected, and most probable, size of the intersection of two such
+// quorums is l^2 ... the probability that any given element in one quorum
+// is also in the second quorum is quite small (l/sqrt(n)), but the
+// probability that some element appears in both quorums is quite high."
+//
+// With Q fixed, |Q' ∩ Q| is hypergeometric H(q; n, q), so the entire
+// intersection-size distribution is exact. This bench prints it for the
+// Table 2 configurations and shows E = l^2 and P(empty) collapsing as l
+// grows while single-element overlap probability q/n stays small.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/epsilon.h"
+#include "math/hypergeometric.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Ablation: intersection-size distribution of R(n, l sqrt(n)) "
+               "(the birthday paradox of Section 3.4)");
+
+  {
+    util::TextTable t({"n", "q", "l", "per-element hit prob q/n",
+                       "E|Q∩Q'| = l^2", "P(empty) exact", "P(empty) e^{-l^2}",
+                       "mode"});
+    for (auto n : bench::table_sizes()) {
+      const auto q = core::min_q_intersecting(n, 1e-3).value();
+      const auto overlap = math::make_hypergeometric(n, q, q);
+      // Most probable intersection size.
+      std::int64_t mode = overlap.support_min();
+      for (auto i = overlap.support_min(); i <= overlap.support_max(); ++i) {
+        if (overlap.pmf(i) > overlap.pmf(mode)) mode = i;
+      }
+      const double l = double(q) / std::sqrt(double(n));
+      t.row()
+          .cell(static_cast<std::size_t>(n))
+          .cell(static_cast<long long>(q))
+          .cell(l, 2)
+          .cell(double(q) / double(n), 3)
+          .cell(overlap.mean(), 2)
+          .cell_sci(overlap.pmf(0), 2)
+          .cell_sci(std::exp(-l * l), 2)
+          .cell(static_cast<long long>(mode));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nFull pmf at n = 100, q = 23 (l = 2.30):\n\n";
+  {
+    const auto overlap = math::make_hypergeometric(100, 23, 23);
+    util::TextTable t({"|Q∩Q'|", "probability", "cumulative"});
+    double cum = 0.0;
+    for (std::int64_t i = 0; i <= 12; ++i) {
+      cum += overlap.pmf(i);
+      t.row()
+          .cell(static_cast<long long>(i))
+          .cell_sci(overlap.pmf(i), 3)
+          .cell(cum, 4);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout
+      << "\nReading: each element of Q lands in Q' with probability only\n"
+         "q/n ~ l/sqrt(n), yet the chance that *no* element does decays as\n"
+         "e^{-l^2}: the paper's birthday-paradox argument. The distribution\n"
+         "concentrates around l^2 ~ 5 shared servers for the Table 2\n"
+         "configurations.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the access strategy is part of the guarantee (Section 3.1's
+// closing remark).
+//
+// The same set system {all q-subsets of n} under (a) the uniform strategy
+// of Definition 3.13 and (b) a "split" strategy that draws each quorum
+// entirely from one half of the universe. The split strategy drives the
+// nonintersection probability to ~1/2 no matter how large q is — enforcing
+// the specified strategy w is not optional.
+#include <cmath>
+#include <iostream>
+
+#include "core/epsilon.h"
+#include "core/monte_carlo.h"
+#include "core/random_subset_system.h"
+#include "math/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Ablation: uniform vs split access strategy over the same set "
+               "system (n = 100)");
+
+  const std::uint32_t n = 100;
+  math::Rng rng(2718);
+  constexpr std::uint64_t kSamples = 100000;
+
+  util::TextTable t({"q", "l", "exact eps (uniform)",
+                     "measured eps (uniform)", "measured eps (split)"});
+  for (std::uint32_t q : {10u, 16u, 23u, 30u, 40u, 50u}) {
+    const core::RandomSubsetSystem sys(n, q);
+    const auto uniform = core::estimate_nonintersection(sys, kSamples, rng);
+    const auto split =
+        core::estimate_split_strategy_nonintersection(n, q, kSamples, rng);
+    t.row()
+        .cell(static_cast<std::size_t>(q))
+        .cell(q / std::sqrt(double(n)), 2)
+        .cell_sci(core::nonintersection_exact(n, q), 3)
+        .cell_sci(uniform.estimate(), 3)
+        .cell_sci(split.estimate(), 3);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: under the uniform strategy the measured eps tracks the\n"
+         "exact value and vanishes as l grows; under the split strategy it\n"
+         "is pinned near 1/2 — two quorums from opposite halves never\n"
+         "intersect regardless of their size.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the bench harness.
+//
+// Every bench binary is runnable with no arguments, prints the rows/series
+// of one table or figure from the paper (plus a CSV block for re-plotting),
+// and exits 0. Absolute values depend on this simulator substrate; the
+// *shape* (who wins, by what factor, where the crossovers fall) is what
+// reproduces the paper.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pqs::bench {
+
+// The crash-probability sweep used by the Figure 1-3 benches.
+inline std::vector<double> p_sweep() {
+  std::vector<double> ps;
+  for (double p = 0.05; p < 0.96; p += 0.05) ps.push_back(p);
+  return ps;
+}
+
+// floor(sqrt(n)) for the b = sqrt(n) settings of Figures 2-3.
+inline std::uint32_t isqrt(std::uint32_t n) {
+  return static_cast<std::uint32_t>(std::lround(std::floor(std::sqrt(
+      static_cast<double>(n)))));
+}
+
+// The Section 6 system-size grid of Tables 2-4.
+inline const std::vector<std::uint32_t>& table_sizes() {
+  static const std::vector<std::uint32_t> sizes{25, 100, 225, 400, 625, 900};
+  return sizes;
+}
+
+// b = (sqrt(n) - 1) / 2, "the largest b for which all the constructions in
+// the table work" (Section 6).
+inline std::uint32_t table_b(std::uint32_t n) {
+  return (isqrt(n) - 1) / 2;
+}
+
+}  // namespace pqs::bench

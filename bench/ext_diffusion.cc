@@ -1,0 +1,98 @@
+// Extension: diffusion (Section 1.1).
+//
+// "Coupled with a diffusion mechanism, the probability of inconsistency
+// using probabilistic quorum constructions can be driven further toward
+// zero when updates are sufficiently dispersed in time."
+//
+// Sweep: number of anti-entropy rounds between each write and the next
+// read, for a deliberately coarse system (small l, measurable epsilon), in
+// benign and Byzantine (forging) environments, with and without MAC
+// verification in the gossip path.
+#include <iostream>
+#include <memory>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "diffusion/gossip.h"
+#include "math/stats.h"
+#include "replica/instant_cluster.h"
+#include "util/table.h"
+
+namespace {
+
+struct Result {
+  double stale;
+  double poisoned;
+};
+
+Result run(std::uint32_t n, std::uint32_t q, std::uint32_t rounds,
+           std::uint32_t forgers, bool verify, std::uint64_t seed) {
+  using namespace pqs;
+  replica::InstantCluster::Config cfg;
+  cfg.quorums = std::make_shared<core::RandomSubsetSystem>(n, q);
+  cfg.mode = replica::ReadMode::kDissemination;
+  cfg.seed = seed;
+  replica::InstantCluster cluster(
+      cfg, replica::FaultPlan::prefix(n, forgers, replica::FaultMode::kForge));
+  diffusion::GossipEngine engine(
+      {.fanout = 2, .verify = verify},
+      verify ? std::optional<crypto::Verifier>(cluster.verifier())
+             : std::nullopt);
+  math::Proportion stale;
+  math::Proportion poisoned;
+  std::int64_t value = 0;
+  constexpr int kPairs = 20000;
+  for (int i = 0; i < kPairs; ++i) {
+    const auto w = cluster.write(1, ++value);
+    engine.run_rounds(cluster.servers(), rounds, cluster.rng());
+    const auto r = cluster.read(1);
+    stale.add(!(r.selection.has_value && r.selection.record.value == value));
+    // Poisoning: any correct server holding a record fresher than the
+    // writer ever produced (only possible via unverified gossip).
+    bool bad = false;
+    for (auto& s : cluster.servers()) {
+      if (s->mode() != replica::FaultMode::kCorrect) continue;
+      const auto* rec = s->find(1);
+      if (rec != nullptr && rec->timestamp > w.timestamp) bad = true;
+    }
+    poisoned.add(bad);
+  }
+  return {stale.estimate(), poisoned.estimate()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pqs;
+
+  const std::uint32_t n = 64, q = 10;
+  util::banner(std::cout,
+               "Extension: epidemic diffusion on R(n=64,q=10) — staleness vs "
+               "gossip rounds (quorum-only eps = " +
+                   util::sci(core::nonintersection_exact(n, q), 2) + ")");
+
+  util::TextTable t({"gossip rounds", "benign stale", "byz stale (verify)",
+                     "byz poisoned (verify)", "byz stale (no verify)",
+                     "byz poisoned (no verify)"});
+  for (std::uint32_t rounds : {0u, 1u, 2u, 3u, 4u, 6u}) {
+    const auto benign = run(n, q, rounds, 0, false, 10 + rounds);
+    const auto byz_v = run(n, q, rounds, 8, true, 20 + rounds);
+    const auto byz_nv = run(n, q, rounds, 8, false, 30 + rounds);
+    t.row()
+        .cell(static_cast<std::size_t>(rounds))
+        .cell_sci(benign.stale, 3)
+        .cell_sci(byz_v.stale, 3)
+        .cell_sci(byz_v.poisoned, 3)
+        .cell_sci(byz_nv.stale, 3)
+        .cell_sci(byz_nv.poisoned, 3);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: every gossip round multiplies fresh coverage, driving\n"
+         "staleness from the quorum-only eps toward zero (Section 1.1's\n"
+         "claim). With forgers present, *verified* diffusion ([MMR99])\n"
+         "keeps poisoning at zero while unverified diffusion lets forged\n"
+         "records displace genuine state on correct servers.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 1: Failure probabilities of probabilistic quorum systems.
+//
+// Left graph: F_p of R(n, l sqrt(n)) for n = 100 and n = 300 (l minimal for
+// eps <= 1e-3) against the lower bound on the failure probability of ANY
+// strict quorum system over at most 300 servers — the minimum of the
+// majority-of-300 curve (best strict system for p < 1/2) and the singleton
+// curve F_p = p (best for p >= 1/2; footnote 3).
+//
+// Right graph: the same probabilistic systems against the corresponding
+// strict threshold constructions (quorums of size ceil((n+1)/2)).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/lower_bounds.h"
+#include "core/random_subset_system.h"
+#include "quorum/threshold.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Figure 1: Failure probabilities of probabilistic quorum "
+               "systems (eps <= 1e-3)");
+
+  const auto prob100 = core::RandomSubsetSystem::intersecting(100, 1e-3);
+  const auto prob300 = core::RandomSubsetSystem::intersecting(300, 1e-3);
+  const auto maj100 = quorum::ThresholdSystem::majority(100);
+  const auto maj300 = quorum::ThresholdSystem::majority(300);
+
+  std::cout << "systems: " << prob100.name() << " (l=" << util::fixed(
+                   prob100.ell(), 2)
+            << "), " << prob300.name() << " (l=" << util::fixed(
+                   prob300.ell(), 2)
+            << ")\n\n";
+
+  util::TextTable t({"p", "prob n=100", "prob n=300", "strict LB (n<=300)",
+                     "threshold n=100", "threshold n=300"});
+  util::CsvWriter csv({"p", "prob100", "prob300", "strict_lb", "thr100",
+                       "thr300"});
+  for (double p : bench::p_sweep()) {
+    const double f100 = prob100.failure_probability(p);
+    const double f300 = prob300.failure_probability(p);
+    const double lb = core::strict_failure_probability_lower_bound(300, p);
+    const double t100 = maj100.failure_probability(p);
+    const double t300 = maj300.failure_probability(p);
+    t.row()
+        .cell(p, 2)
+        .cell_sci(f100, 2)
+        .cell_sci(f300, 2)
+        .cell_sci(lb, 2)
+        .cell_sci(t100, 2)
+        .cell_sci(t300, 2);
+    csv.row({util::fixed(p, 2), util::sci(f100, 6), util::sci(f300, 6),
+             util::sci(lb, 6), util::sci(t100, 6), util::sci(t300, 6)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nShape check (paper's Fig. 1): for p < 1/2 the strict threshold\n"
+         "systems are competitive; past p = 1/2 every strict system is\n"
+         "pinned at F_p >= p while the probabilistic constructions keep\n"
+         "F_p ~ e^{-Theta(n)} until p approaches 1 - l/sqrt(n) (~0.75 for\n"
+         "n=100, ~0.85 for n=300), decisively beating the strict lower\n"
+         "bound in that whole range.\n";
+
+  std::cout << "\nCSV:\n" << csv.str();
+  return 0;
+}

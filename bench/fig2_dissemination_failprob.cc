@@ -1,0 +1,67 @@
+// Figure 2: Failure probabilities of probabilistic dissemination quorum
+// systems, in the b = sqrt(n) setting the paper plots.
+//
+// Left: (b, eps)-dissemination R(n, l sqrt(n)) for n = 100, 300 vs the
+// strict-quorum-system lower bound (n <= 300). Right: vs the strict
+// threshold dissemination construction (quorums of ceil((n+b+1)/2)).
+//
+// Fault tolerance / failure probability concern *crash* failures; b is the
+// number of Byzantine failures the intersection guarantee masks.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/lower_bounds.h"
+#include "core/random_subset_system.h"
+#include "quorum/threshold.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Figure 2: Failure probabilities of probabilistic "
+               "dissemination quorum systems (b = sqrt(n), eps <= 1e-3)");
+
+  const std::uint32_t b100 = bench::isqrt(100);  // 10
+  const std::uint32_t b300 = bench::isqrt(300);  // 17
+  const auto prob100 = core::RandomSubsetSystem::dissemination(100, b100, 1e-3);
+  const auto prob300 = core::RandomSubsetSystem::dissemination(300, b300, 1e-3);
+  const auto thr100 = quorum::ThresholdSystem::dissemination(100, b100);
+  const auto thr300 = quorum::ThresholdSystem::dissemination(300, b300);
+
+  std::cout << "systems: " << prob100.name() << ", " << prob300.name()
+            << " vs threshold sizes " << thr100.min_quorum_size() << ", "
+            << thr300.min_quorum_size() << "\n\n";
+
+  util::TextTable t({"p", "prob n=100", "prob n=300", "strict LB (n<=300)",
+                     "thr-dissem n=100", "thr-dissem n=300"});
+  util::CsvWriter csv({"p", "prob100", "prob300", "strict_lb", "thr100",
+                       "thr300"});
+  for (double p : bench::p_sweep()) {
+    const double f100 = prob100.failure_probability(p);
+    const double f300 = prob300.failure_probability(p);
+    const double lb = core::strict_failure_probability_lower_bound(300, p);
+    const double t100 = thr100.failure_probability(p);
+    const double t300 = thr300.failure_probability(p);
+    t.row()
+        .cell(p, 2)
+        .cell_sci(f100, 2)
+        .cell_sci(f300, 2)
+        .cell_sci(lb, 2)
+        .cell_sci(t100, 2)
+        .cell_sci(t300, 2);
+    csv.row({util::fixed(p, 2), util::sci(f100, 6), util::sci(f300, 6),
+             util::sci(lb, 6), util::sci(t100, 6), util::sci(t300, 6)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nShape check (paper's Fig. 2): the strict dissemination\n"
+         "threshold needs ceil((n+b+1)/2) servers alive, so its curve\n"
+         "rises earlier than the plain majority; the probabilistic curve\n"
+         "is unchanged from Fig. 1 (the construction does not grow with b)\n"
+         "and beats the strict lower bound for every p in [1/2, ~0.75].\n";
+
+  std::cout << "\nCSV:\n" << csv.str();
+  return 0;
+}

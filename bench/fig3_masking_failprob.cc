@@ -1,0 +1,65 @@
+// Figure 3: Failure probabilities of probabilistic masking quorum systems,
+// b = sqrt(n).
+//
+// Left: (b, eps)-masking R_k(n, q) for n = 100, 300 vs the strict lower
+// bound (n <= 300). Right: vs the strict threshold masking construction
+// (quorums of ceil((n+2b+1)/2)).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/lower_bounds.h"
+#include "core/random_subset_system.h"
+#include "quorum/threshold.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Figure 3: Failure probabilities of probabilistic masking "
+               "quorum systems (b = sqrt(n), eps <= 1e-3)");
+
+  const std::uint32_t b100 = bench::isqrt(100);
+  const std::uint32_t b300 = bench::isqrt(300);
+  const auto prob100 = core::RandomSubsetSystem::masking(100, b100, 1e-3);
+  const auto prob300 = core::RandomSubsetSystem::masking(300, b300, 1e-3);
+  const auto thr100 = quorum::ThresholdSystem::masking(100, b100);
+  const auto thr300 = quorum::ThresholdSystem::masking(300, b300);
+
+  std::cout << "systems: " << prob100.name() << ", " << prob300.name()
+            << " vs threshold sizes " << thr100.min_quorum_size() << ", "
+            << thr300.min_quorum_size() << "\n\n";
+
+  util::TextTable t({"p", "prob n=100", "prob n=300", "strict LB (n<=300)",
+                     "thr-mask n=100", "thr-mask n=300"});
+  util::CsvWriter csv({"p", "prob100", "prob300", "strict_lb", "thr100",
+                       "thr300"});
+  for (double p : bench::p_sweep()) {
+    const double f100 = prob100.failure_probability(p);
+    const double f300 = prob300.failure_probability(p);
+    const double lb = core::strict_failure_probability_lower_bound(300, p);
+    const double t100 = thr100.failure_probability(p);
+    const double t300 = thr300.failure_probability(p);
+    t.row()
+        .cell(p, 2)
+        .cell_sci(f100, 2)
+        .cell_sci(f300, 2)
+        .cell_sci(lb, 2)
+        .cell_sci(t100, 2)
+        .cell_sci(t300, 2);
+    csv.row({util::fixed(p, 2), util::sci(f100, 6), util::sci(f300, 6),
+             util::sci(lb, 6), util::sci(t100, 6), util::sci(t300, 6)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nShape check (paper's Fig. 3): masking quorums are the largest\n"
+         "of the three regimes, so the probabilistic curves lift off\n"
+         "slightly earlier than in Figs. 1-2 (q ~ 5.4 sqrt(n) at n=100),\n"
+         "while the strict threshold masking construction needs\n"
+         "(n + 2 sqrt(n) + 1)/2 live servers and is pinned above p ~ 0.4;\n"
+         "the probabilistic system still beats the strict bound past 1/2.\n";
+
+  std::cout << "\nCSV:\n" << csv.str();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Operation latency under open-loop load: the client must hear from every
+// quorum member, so operation latency is the *maximum* of q message round
+// trips — smaller quorums buy shorter tails. This bench drives Poisson
+// arrivals through the asynchronous client over the simulated network and
+// prints latency percentiles for the probabilistic construction vs the
+// strict baselines at n = 100.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/random_subset_system.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+#include "replica/sim_cluster.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pqs;
+
+struct Percentiles {
+  double p50, p95, p99, max;
+};
+
+Percentiles percentiles(std::vector<sim::Time>& xs) {
+  std::sort(xs.begin(), xs.end());
+  auto at = [&](double f) {
+    return static_cast<double>(
+        xs[std::min(xs.size() - 1,
+                    static_cast<std::size_t>(f * double(xs.size())))]);
+  };
+  return {at(0.50), at(0.95), at(0.99), static_cast<double>(xs.back())};
+}
+
+Percentiles run(std::shared_ptr<const quorum::QuorumSystem> system,
+                std::uint64_t seed) {
+  replica::SimCluster::Config cfg;
+  cfg.quorums = std::move(system);
+  cfg.latency = {.base = 200, .jitter_mean = 300, .drop_probability = 0.0};
+  cfg.seed = seed;
+  replica::SimCluster cluster(cfg);
+
+  constexpr int kOps = 4000;
+  constexpr sim::Time kMeanInterarrival = 2000;  // 500 ops/s open loop
+
+  std::vector<sim::Time> latencies;
+  latencies.reserve(kOps);
+  math::Rng arrivals(seed ^ 0xa11ce);
+  int issued = 0;
+
+  // Chain Poisson arrivals; each op is a write or read alternately and
+  // records its completion latency.
+  std::function<void()> arrive = [&]() {
+    if (issued >= kOps) return;
+    ++issued;
+    const sim::Time start = cluster.simulator().now();
+    if (issued % 2 == 0) {
+      cluster.client().write(1, issued, [&, start](const auto&) {
+        latencies.push_back(cluster.simulator().now() - start);
+      });
+    } else {
+      cluster.client().read(1, [&, start](const auto&) {
+        latencies.push_back(cluster.simulator().now() - start);
+      });
+    }
+    cluster.simulator().schedule(
+        static_cast<sim::Time>(arrivals.exponential(kMeanInterarrival)),
+        arrive);
+  };
+  cluster.simulator().schedule(0, arrive);
+  cluster.simulator().run();
+  return percentiles(latencies);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Operation latency (simulated network: 200us base + exp(300us) "
+               "jitter, Poisson open loop, n = 100)");
+
+  util::TextTable t({"system", "quorum size", "p50 (us)", "p95 (us)",
+                     "p99 (us)", "max (us)"});
+  struct Entry {
+    std::string label;
+    std::shared_ptr<const quorum::QuorumSystem> system;
+  };
+  const std::vector<Entry> entries = {
+      {"R(100,23) probabilistic",
+       std::make_shared<core::RandomSubsetSystem>(
+           core::RandomSubsetSystem::intersecting(100, 1e-3))},
+      {"grid 10x10", std::make_shared<quorum::GridSystem>(
+                         quorum::GridSystem::square(100))},
+      {"majority threshold", std::make_shared<quorum::ThresholdSystem>(
+                                 quorum::ThresholdSystem::majority(100))},
+  };
+  for (const auto& e : entries) {
+    const auto stats = run(e.system, 7);
+    t.row()
+        .cell(e.label)
+        .cell(static_cast<std::size_t>(e.system->min_quorum_size()))
+        .cell(stats.p50, 0)
+        .cell(stats.p95, 0)
+        .cell(stats.p99, 0)
+        .cell(stats.max, 0);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: completion waits on the slowest quorum member, so the\n"
+         "latency tail grows roughly like the expected maximum of q\n"
+         "exponentials (~ H_q * jitter): the 23-server probabilistic\n"
+         "quorums complete well ahead of the 51-server majority at every\n"
+         "percentile — the operational face of the load advantage.\n";
+  return 0;
+}

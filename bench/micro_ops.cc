@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark): the operational costs of the library —
+// quorum sampling, exact epsilon evaluation, solver runs, protocol
+// operations on both cluster harnesses, gossip rounds, and the MAC.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "crypto/mac.h"
+#include "diffusion/gossip.h"
+#include "math/rng.h"
+#include "math/sampling.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+#include "quorum/wall.h"
+#include "quorum/weighted.h"
+#include "replica/instant_cluster.h"
+#include "replica/sim_cluster.h"
+
+namespace {
+
+using namespace pqs;
+
+std::uint32_t bench_quorum_size(std::uint32_t n) {
+  return static_cast<std::uint32_t>(2.5 * std::sqrt(double(n))) + 1;
+}
+
+void BM_SampleQuorum_RandomSubset(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
+  math::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.sample(rng));
+  }
+}
+
+void BM_SampleQuorum_Grid(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto sys = quorum::GridSystem::square(n);
+  math::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.sample(rng));
+  }
+}
+
+void BM_SampleQuorum_Wall(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto side = static_cast<std::uint32_t>(std::sqrt(double(n)));
+  const auto sys = quorum::WallSystem::uniform(side, side);
+  math::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.sample(rng));
+  }
+}
+
+void BM_SampleQuorum_Weighted(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> votes(n, 1);
+  for (std::uint32_t i = 0; i < n / 10; ++i) votes[i] = 4;
+  const std::uint32_t total = n + (n / 10) * 3;
+  const quorum::WeightedVotingSystem sys(votes, total / 2 + 1);
+  math::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.sample(rng));
+  }
+}
+
+void BM_EpsilonExact_Intersecting(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto q = bench_quorum_size(static_cast<std::uint32_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::nonintersection_exact(n, q));
+  }
+}
+
+void BM_EpsilonExact_Dissemination(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto q = bench_quorum_size(static_cast<std::uint32_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dissemination_epsilon_exact(n, q, n / 3));
+  }
+}
+
+void BM_EpsilonExact_Masking(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto q = 5 * static_cast<std::int64_t>(std::sqrt(double(n)));
+  const auto b = static_cast<std::int64_t>(std::sqrt(double(n)));
+  const auto k = core::masking_threshold(n, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::masking_epsilon_exact(n, q, b, k));
+  }
+}
+
+void BM_Solver_Intersecting(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::min_q_intersecting(n, 1e-3));
+  }
+}
+
+void BM_InstantCluster_WriteRead(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  replica::InstantCluster::Config cfg;
+  cfg.quorums =
+      std::make_shared<core::RandomSubsetSystem>(n, bench_quorum_size(n));
+  replica::InstantCluster cluster(cfg);
+  std::int64_t value = 0;
+  for (auto _ : state) {
+    cluster.write(1, ++value);
+    benchmark::DoNotOptimize(cluster.read(1));
+  }
+}
+
+void BM_SimCluster_WriteRead(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  replica::SimCluster::Config cfg;
+  cfg.quorums =
+      std::make_shared<core::RandomSubsetSystem>(n, bench_quorum_size(n));
+  cfg.latency = {.base = 100, .jitter_mean = 50, .drop_probability = 0.0};
+  replica::SimCluster cluster(cfg);
+  std::int64_t value = 0;
+  for (auto _ : state) {
+    cluster.write_sync(1, ++value);
+    benchmark::DoNotOptimize(cluster.read_sync(1));
+  }
+}
+
+void BM_GossipRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  replica::InstantCluster::Config cfg;
+  cfg.quorums =
+      std::make_shared<core::RandomSubsetSystem>(n, bench_quorum_size(n));
+  replica::InstantCluster cluster(cfg);
+  for (std::uint64_t v = 1; v <= 8; ++v) cluster.write(v, 1);
+  diffusion::GossipEngine engine({.fanout = 2, .verify = false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_round(cluster.servers(), cluster.rng()));
+  }
+}
+
+void BM_MacSignVerify(benchmark::State& state) {
+  const auto signer = crypto::Signer::from_seed(7);
+  const crypto::Verifier verifier(signer.key());
+  std::uint64_t ts = 0;
+  for (auto _ : state) {
+    const auto rec = signer.sign(1, 42, ++ts, 1);
+    benchmark::DoNotOptimize(verifier.verify(rec));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SampleQuorum_RandomSubset)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_SampleQuorum_Grid)->Arg(100)->Arg(900);
+BENCHMARK(BM_SampleQuorum_Wall)->Arg(100)->Arg(900);
+BENCHMARK(BM_SampleQuorum_Weighted)->Arg(100)->Arg(900);
+BENCHMARK(BM_EpsilonExact_Intersecting)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_EpsilonExact_Dissemination)->Arg(100)->Arg(900);
+BENCHMARK(BM_EpsilonExact_Masking)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_Solver_Intersecting)->Arg(100)->Arg(900);
+BENCHMARK(BM_InstantCluster_WriteRead)->Arg(100)->Arg(900);
+BENCHMARK(BM_SimCluster_WriteRead)->Arg(25)->Arg(100);
+BENCHMARK(BM_GossipRound)->Arg(100)->Arg(900);
+BENCHMARK(BM_MacSignVerify);
+
+BENCHMARK_MAIN();

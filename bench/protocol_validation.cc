@@ -1,0 +1,148 @@
+// Protocol validation: Theorems 3.2, 4.2 and 5.2 measured end-to-end.
+//
+// For each regime, runs the full write/read protocol on a cluster with the
+// paper's fault model injected and compares the observed failure rate of
+// non-concurrent reads against the analytic epsilon:
+//   * Theorem 3.2 (benign): staleness rate == exact nonintersection eps.
+//   * Theorem 4.2 (dissemination, b stale-replaying servers with valid
+//     MACs): staleness rate == exact dissemination eps; fabrications are
+//     never accepted.
+//   * Theorem 5.2 (masking, b colluding servers): wrong-value rate ==
+//     P(|Q ∩ B| >= k); stale/None rate completes the masking eps.
+#include <iostream>
+#include <memory>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "math/hypergeometric.h"
+#include "math/stats.h"
+#include "replica/instant_cluster.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr int kPairs = 200000;
+
+struct Observed {
+  double stale_or_none = 0.0;
+  double wrong = 0.0;  // value never written by the writer
+};
+
+Observed run(const pqs::replica::InstantCluster::Config& cfg,
+             const pqs::replica::FaultPlan& faults) {
+  pqs::replica::InstantCluster cluster(cfg, faults);
+  pqs::math::Proportion stale;
+  pqs::math::Proportion wrong;
+  std::int64_t value = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    cluster.write(1, ++value);
+    const auto r = cluster.read(1);
+    const bool fresh = r.selection.has_value &&
+                       r.selection.record.value == value;
+    const bool fabricated =
+        r.selection.has_value &&
+        (r.selection.record.value > value || r.selection.record.value < 0);
+    stale.add(!fresh && !fabricated);
+    wrong.add(fabricated);
+  }
+  return {stale.estimate(), wrong.estimate()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Protocol validation: Theorems 3.2 / 4.2 / 5.2, " +
+                   std::to_string(kPairs) + " write/read pairs each");
+
+  util::TextTable t({"theorem", "system", "faults", "analytic eps",
+                     "observed stale", "observed wrong-value"});
+
+  {  // Theorem 3.2 — benign; coarse parameters so the rate is measurable.
+    const std::uint32_t n = 64, q = 12;
+    replica::InstantCluster::Config cfg;
+    cfg.quorums = std::make_shared<core::RandomSubsetSystem>(n, q);
+    cfg.seed = 1;
+    const auto obs = run(cfg, replica::FaultPlan(n));
+    t.row()
+        .cell("3.2 (benign)")
+        .cell(cfg.quorums->name())
+        .cell("none")
+        .cell_sci(core::nonintersection_exact(n, q), 3)
+        .cell_sci(obs.stale_or_none, 3)
+        .cell_sci(obs.wrong, 3);
+  }
+
+  {  // Theorem 4.2 — dissemination with stale-replaying Byzantine servers.
+    const std::uint32_t n = 64, q = 16, b = 12;
+    replica::InstantCluster::Config cfg;
+    cfg.quorums = std::make_shared<core::RandomSubsetSystem>(
+        core::RandomSubsetSystem::with_byzantine(
+            n, q, b, core::Regime::kDissemination));
+    cfg.mode = replica::ReadMode::kDissemination;
+    cfg.seed = 2;
+    const auto obs =
+        run(cfg, replica::FaultPlan::prefix(n, b, replica::FaultMode::kStaleReplay));
+    t.row()
+        .cell("4.2 (dissemination)")
+        .cell(cfg.quorums->name())
+        .cell(std::to_string(b) + " stale-replay")
+        .cell_sci(core::dissemination_epsilon_exact(n, q, b), 3)
+        .cell_sci(obs.stale_or_none, 3)
+        .cell_sci(obs.wrong, 3);
+  }
+
+  {  // Theorem 4.2 under outright forgers: wrong-value must be zero.
+    const std::uint32_t n = 64, q = 16, b = 12;
+    replica::InstantCluster::Config cfg;
+    cfg.quorums = std::make_shared<core::RandomSubsetSystem>(
+        core::RandomSubsetSystem::with_byzantine(
+            n, q, b, core::Regime::kDissemination));
+    cfg.mode = replica::ReadMode::kDissemination;
+    cfg.seed = 3;
+    const auto obs =
+        run(cfg, replica::FaultPlan::prefix(n, b, replica::FaultMode::kForge));
+    t.row()
+        .cell("4.2 (dissemination)")
+        .cell(cfg.quorums->name())
+        .cell(std::to_string(b) + " forge")
+        .cell_sci(core::dissemination_epsilon_exact(n, q, b), 3)
+        .cell_sci(obs.stale_or_none, 3)
+        .cell_sci(obs.wrong, 3);
+  }
+
+  {  // Theorem 5.2 — masking with colluders.
+    const std::uint32_t n = 64, q = 24, b = 8;
+    const auto k = static_cast<std::uint32_t>(core::masking_threshold(n, q));
+    replica::InstantCluster::Config cfg;
+    cfg.quorums = std::make_shared<core::RandomSubsetSystem>(
+        core::RandomSubsetSystem::with_byzantine(n, q, b,
+                                                 core::Regime::kMasking));
+    cfg.mode = replica::ReadMode::kMasking;
+    cfg.read_threshold = k;
+    cfg.seed = 4;
+    const auto obs =
+        run(cfg, replica::FaultPlan::prefix(n, b, replica::FaultMode::kCollude));
+    const auto X = math::make_hypergeometric(n, b, q);
+    t.row()
+        .cell("5.2 (masking)")
+        .cell(cfg.quorums->name())
+        .cell(std::to_string(b) + " collude")
+        .cell_sci(core::masking_epsilon_exact(n, q, b, k), 3)
+        .cell_sci(obs.stale_or_none, 3)
+        .cell_sci(obs.wrong, 3);
+    std::cout << "masking wrong-value analytic P(|Q∩B| >= k) = "
+              << util::sci(X.upper_tail(k), 3) << "\n";
+  }
+
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: observed staleness tracks the analytic eps column\n"
+         "(statistical noise ~ +/-3e-4 at this sample size); wrong-value\n"
+         "rates are zero under dissemination (MACs cannot be forged) and\n"
+         "match P(|Q ∩ B| >= k) under masking collusion.\n";
+  return 0;
+}

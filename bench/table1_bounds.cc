@@ -1,0 +1,93 @@
+// Table 1: Bounds on the load and resilience of different quorum system
+// types — printed next to what the constructions in this library actually
+// achieve, including the probabilistic constructions that beat the strict
+// bounds (the paper's headline results).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/epsilon.h"
+#include "core/lower_bounds.h"
+#include "core/random_subset_system.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Table 1: Bounds on the load and resilience of quorum system "
+               "types");
+
+  {
+    util::TextTable t({"bound", "strict", "b-dissemination", "b-masking"});
+    t.row()
+        .cell("load lower bound")
+        .cell("sqrt(1/n)")
+        .cell("sqrt((b+1)/n)")
+        .cell("sqrt((2b+1)/n)");
+    t.row()
+        .cell("max resilience b")
+        .cell("n/a")
+        .cell("floor((n-1)/3)")
+        .cell("floor((n-1)/4)");
+    t.print(std::cout);
+  }
+
+  std::cout << "\nEvaluated bounds and achieved values (b = (sqrt(n)-1)/2, "
+               "probabilistic systems at eps <= 1e-3):\n\n";
+
+  util::TextTable t({"n", "b", "LB strict", "L(majority)", "L(grid)",
+                     "LB dissem", "L(thr-dissem)", "L(R dissem)", "LB mask",
+                     "L(thr-mask)", "L(R mask)"});
+  for (auto n : bench::table_sizes()) {
+    const auto b = bench::table_b(n);
+    const auto majority = quorum::ThresholdSystem::majority(n);
+    const auto grid = quorum::GridSystem::square(n);
+    const auto td = quorum::ThresholdSystem::dissemination(n, b);
+    const auto tm = quorum::ThresholdSystem::masking(n, b);
+    const auto rd = core::RandomSubsetSystem::dissemination(n, b, 1e-3);
+    const auto rm = core::RandomSubsetSystem::masking(n, b, 1e-3);
+    t.row()
+        .cell(static_cast<std::size_t>(n))
+        .cell(static_cast<std::size_t>(b))
+        .cell(core::strict_load_lower_bound(n), 3)
+        .cell(majority.load(), 3)
+        .cell(grid.load(), 3)
+        .cell(core::strict_dissemination_load_lower_bound(n, b), 3)
+        .cell(td.load(), 3)
+        .cell(rd.load(), 3)
+        .cell(core::strict_masking_load_lower_bound(n, b), 3)
+        .cell(tm.load(), 3)
+        .cell(rm.load(), 3);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: every strict construction respects its column's lower\n"
+         "bound; the probabilistic dissemination construction reaches the\n"
+         "benign-case load O(1/sqrt(n)), *below* the strict dissemination\n"
+         "bound, and the probabilistic masking construction undercuts the\n"
+         "strict masking bound once b = omega(sqrt(n)) (see the ablation\n"
+         "benches for the large-b regime).\n";
+
+  std::cout << "\nResilience caps (strict) vs probabilistic resilience:\n\n";
+  util::TextTable r({"n", "max b strict dissem", "max b strict mask",
+                     "R(n,q) dissem b = n/2 works?"});
+  for (auto n : bench::table_sizes()) {
+    const auto half = n / 2;
+    // A dissemination system at b = n/2 — double the strict resilience cap
+    // — needs only q <= n - b and a small exact epsilon; report the epsilon
+    // a mid-sized quorum achieves.
+    const auto q = half > 2 ? half / 2 + bench::isqrt(n) : half;
+    const auto eps = core::dissemination_epsilon_exact(n, q, half);
+    r.row()
+        .cell(static_cast<std::size_t>(n))
+        .cell(core::strict_dissemination_max_b(n))
+        .cell(core::strict_masking_max_b(n))
+        .cell("q=" + std::to_string(q) + ", eps=" + util::sci(eps, 2));
+  }
+  r.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 2: Properties of various quorum systems — the eps-intersecting
+// construction R(n, l sqrt(n)) vs the threshold (majority) and grid
+// baselines, at the paper's consistency target eps <= 1e-3.
+//
+// The paper's l column is printed alongside the l our exact-epsilon solver
+// derives; the paper's values are slightly below what exact eps <= 1e-3
+// requires (see EXPERIMENTS.md), so ours run one to two servers larger.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Table 2: Properties of various quorum systems (eps <= 1e-3)");
+
+  const double paper_ell[] = {1.80, 2.20, 2.40, 2.45, 2.48, 2.50};
+
+  util::TextTable t({"n", "paper l", "our l", "eps-int quorum",
+                     "eps-int fault tol", "exact eps", "threshold quorum",
+                     "threshold fault tol", "grid quorum", "grid fault tol"});
+  int row = 0;
+  for (auto n : bench::table_sizes()) {
+    const auto sys = core::RandomSubsetSystem::intersecting(n, 1e-3);
+    const auto majority = quorum::ThresholdSystem::majority(n);
+    const auto grid = quorum::GridSystem::square(n);
+    t.row()
+        .cell(static_cast<std::size_t>(n))
+        .cell(paper_ell[row++], 2)
+        .cell(sys.ell(), 2)
+        .cell(static_cast<std::size_t>(sys.quorum_size()))
+        .cell(static_cast<std::size_t>(sys.fault_tolerance()))
+        .cell_sci(sys.epsilon(), 2)
+        .cell(static_cast<std::size_t>(majority.min_quorum_size()))
+        .cell(static_cast<std::size_t>(majority.fault_tolerance()))
+        .cell(static_cast<std::size_t>(grid.min_quorum_size()))
+        .cell(static_cast<std::size_t>(grid.fault_tolerance()));
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nShape check (paper's Table 2): the probabilistic quorums are a\n"
+         "fraction of the threshold quorums (22-vs-51 at n=100 scale) while\n"
+         "the fault tolerance is near-linear in n (79 vs 51 at n=100,\n"
+         "826-vs-451 at n=900); the grid matches on quorum size but its\n"
+         "fault tolerance stays at sqrt(n).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 4: Properties of various masking quorum systems at
+// b = (sqrt(n)-1)/2 and eps <= 1e-3: our (b, eps)-masking system
+// R_k(n, q) (read threshold k = ceil(q^2/2n)) vs the strict threshold
+// masking construction (quorums of size ceil((n+2b+1)/2)) and the grid
+// masking construction.
+//
+// The paper's Table 4 l values cannot be reproduced by any single rounding
+// convention for k (see EXPERIMENTS.md); the exact joint computation with
+// k = ceil(q^2/2n) lands within a few servers of every paper row, and both
+// l columns are printed for comparison.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/random_subset_system.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pqs;
+
+  util::banner(std::cout,
+               "Table 4: Properties of various masking quorum systems "
+               "(b = (sqrt(n)-1)/2, eps <= 1e-3)");
+
+  const double paper_ell[] = {3.00, 3.80, 4.27, 4.70, 4.92, 5.07};
+
+  util::TextTable t({"n", "b", "paper l", "our l", "(b,eps) quorum", "k",
+                     "(b,eps) fault tol", "exact eps", "thr quorum",
+                     "thr fault tol", "grid quorum", "grid fault tol"});
+  int row = 0;
+  for (auto n : bench::table_sizes()) {
+    const auto b = bench::table_b(n);
+    const auto sys = core::RandomSubsetSystem::masking(n, b, 1e-3);
+    const auto thr = quorum::ThresholdSystem::masking(n, b);
+    const auto grid = quorum::GridSystem::masking(n, b);
+    t.row()
+        .cell(static_cast<std::size_t>(n))
+        .cell(static_cast<std::size_t>(b))
+        .cell(paper_ell[row++], 2)
+        .cell(sys.ell(), 2)
+        .cell(static_cast<std::size_t>(sys.quorum_size()))
+        .cell(static_cast<std::size_t>(sys.read_threshold()))
+        .cell(static_cast<std::size_t>(sys.fault_tolerance()))
+        .cell_sci(sys.epsilon(), 2)
+        .cell(static_cast<std::size_t>(thr.min_quorum_size()))
+        .cell(static_cast<std::size_t>(thr.fault_tolerance()))
+        .cell(static_cast<std::size_t>(grid.min_quorum_size()))
+        .cell(static_cast<std::size_t>(grid.fault_tolerance()));
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nShape check (paper's Table 4): masking quorums are larger than\n"
+         "dissemination ones (l ~ 3-5 vs ~2.5) but still well below the\n"
+         "threshold construction (40 vs 55 at n=100, 146 vs 465 at n=900),\n"
+         "with near-linear fault tolerance.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Capacity planner: size a probabilistic quorum deployment.
+//
+// Give it a universe size, a Byzantine budget and a consistency target and
+// it solves for the three probabilistic constructions of the paper (exact
+// epsilon, Section 6's procedure), prints their quality measures next to
+// the strict alternatives, and flags which strict constructions are even
+// feasible at that resilience.
+//
+// Usage: capacity_planner [n] [b] [epsilon]
+//        defaults: n=400 b=40 epsilon=1e-3
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/epsilon.h"
+#include "core/lower_bounds.h"
+#include "core/random_subset_system.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+
+namespace {
+
+void print_system(const char* role, const pqs::core::RandomSubsetSystem& s) {
+  std::printf("  %-14s %-34s load %.3f  A=%u  eps=%.2e\n", role,
+              s.name().c_str(), s.load(), s.fault_tolerance(), s.epsilon());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pqs;
+
+  const std::uint32_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const std::uint32_t b = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 40;
+  const double eps = argc > 3 ? std::strtod(argv[3], nullptr) : 1e-3;
+  if (n < 2 || b >= n || eps <= 0.0 || eps >= 1.0) {
+    std::fprintf(stderr, "usage: %s [n>=2] [b<n] [0<epsilon<1]\n", argv[0]);
+    return 2;
+  }
+
+  std::printf("universe n=%u, Byzantine budget b=%u, target eps=%.1e\n\n", n,
+              b, eps);
+
+  std::printf("probabilistic constructions (exact epsilon):\n");
+  print_system("benign", core::RandomSubsetSystem::intersecting(n, eps));
+  if (core::min_q_dissemination(n, b, eps)) {
+    print_system("dissemination",
+                 core::RandomSubsetSystem::dissemination(n, b, eps));
+  } else {
+    std::printf("  %-14s infeasible at this (n, b, eps)\n", "dissemination");
+  }
+  if (core::min_q_masking(n, b, eps)) {
+    print_system("masking", core::RandomSubsetSystem::masking(n, b, eps));
+  } else {
+    std::printf("  %-14s infeasible at this (n, b, eps)\n", "masking");
+  }
+
+  std::printf("\nstrict alternatives:\n");
+  const auto majority = quorum::ThresholdSystem::majority(n);
+  std::printf("  %-14s %-34s load %.3f  A=%u  (eps = 0)\n", "benign",
+              majority.name().c_str(), majority.load(),
+              majority.fault_tolerance());
+  if (b <= core::strict_dissemination_max_b(n)) {
+    const auto d = quorum::ThresholdSystem::dissemination(n, b);
+    std::printf("  %-14s %-34s load %.3f  A=%u\n", "dissemination",
+                d.name().c_str(), d.load(), d.fault_tolerance());
+  } else {
+    std::printf("  %-14s IMPOSSIBLE: b=%u exceeds floor((n-1)/3)=%lld\n",
+                "dissemination", b,
+                static_cast<long long>(core::strict_dissemination_max_b(n)));
+  }
+  if (b <= core::strict_masking_max_b(n)) {
+    const auto m = quorum::ThresholdSystem::masking(n, b);
+    std::printf("  %-14s %-34s load %.3f  A=%u\n", "masking",
+                m.name().c_str(), m.load(), m.fault_tolerance());
+  } else {
+    std::printf("  %-14s IMPOSSIBLE: b=%u exceeds floor((n-1)/4)=%lld\n",
+                "masking", b,
+                static_cast<long long>(core::strict_masking_max_b(n)));
+  }
+
+  std::printf("\navailability (crash probability p -> failure probability):\n");
+  const auto bench_system = core::RandomSubsetSystem::intersecting(n, eps);
+  std::printf("  %-6s %-16s %-16s %-16s\n", "p", "probabilistic", "majority",
+              "strict bound");
+  for (double p : {0.2, 0.4, 0.5, 0.6, 0.7}) {
+    std::printf("  %-6.2f %-16.3e %-16.3e %-16.3e\n", p,
+                bench_system.failure_probability(p),
+                majority.failure_probability(p),
+                core::strict_failure_probability_lower_bound(n, p));
+  }
+  std::printf(
+      "\nload floors: strict %.3f | probabilistic (Cor 3.12) %.3f | masking "
+      "(Thm 5.5) %.3f\n",
+      core::strict_load_lower_bound(n),
+      core::probabilistic_load_floor(n, eps),
+      core::probabilistic_masking_load_lower_bound(n, b, eps));
+  return 0;
+}

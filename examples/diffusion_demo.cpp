@@ -1,0 +1,69 @@
+// Diffusion demo: lazily propagating updates to drive inconsistency to 0.
+//
+// Section 1.1: "a system built with probabilistic quorum systems can be
+// strengthened by a properly designed diffusion mechanism, which propagates
+// updates to replicated data lazily, i.e., outside the critical path of
+// client operations."
+//
+// A deliberately tiny quorum (l = 1, eps ~ 1/e) keeps the client-visible
+// cost minimal; anti-entropy gossip between operations supplies the
+// consistency. The demo prints the staleness rate as a function of how many
+// gossip rounds separate a write from the next read, in a benign setting
+// and with Byzantine forgers (verified gossip).
+#include <cstdio>
+#include <memory>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "diffusion/gossip.h"
+#include "math/stats.h"
+#include "replica/instant_cluster.h"
+
+int main() {
+  using namespace pqs;
+
+  constexpr std::uint32_t kServers = 81;
+  constexpr std::uint32_t kQuorum = 9;  // l = 1: load 0.11, eps ~ 0.36
+  constexpr std::uint32_t kForgers = 8;
+
+  std::printf("system          : R(n=%u,q=%u), quorum-only eps = %.3f\n",
+              kServers, kQuorum,
+              core::nonintersection_exact(kServers, kQuorum));
+  std::printf("gossip          : fanout 2, MAC-verified ([MMR99])\n\n");
+  std::printf("%-14s %-18s %-18s\n", "gossip rounds", "benign staleness",
+              "staleness w/ forgers");
+
+  for (std::uint32_t rounds : {0u, 1u, 2u, 3u, 5u}) {
+    double rates[2];
+    for (int byz = 0; byz < 2; ++byz) {
+      replica::InstantCluster::Config cfg;
+      cfg.quorums =
+          std::make_shared<core::RandomSubsetSystem>(kServers, kQuorum);
+      cfg.mode = replica::ReadMode::kDissemination;
+      cfg.seed = 11 + rounds + byz;
+      replica::InstantCluster cluster(
+          cfg, replica::FaultPlan::prefix(kServers, byz ? kForgers : 0,
+                                          replica::FaultMode::kForge));
+      diffusion::GossipEngine engine({.fanout = 2, .verify = true},
+                                     cluster.verifier());
+      math::Proportion stale;
+      std::int64_t value = 0;
+      for (int i = 0; i < 10000; ++i) {
+        cluster.write(1, ++value);
+        engine.run_rounds(cluster.servers(), rounds, cluster.rng());
+        const auto r = cluster.read(1);
+        stale.add(
+            !(r.selection.has_value && r.selection.record.value == value));
+      }
+      rates[byz] = stale.estimate();
+    }
+    std::printf("%-14u %-18.4f %-18.4f\n", rounds, rates[0], rates[1]);
+  }
+
+  std::printf(
+      "\nEach gossip round multiplies the set of fresh replicas, so a\n"
+      "handful of off-critical-path rounds buys orders of magnitude of\n"
+      "consistency on top of a minimal-quorum configuration — with MAC\n"
+      "verification keeping Byzantine forgers out of the epidemic.\n");
+  return 0;
+}

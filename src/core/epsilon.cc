@@ -1,0 +1,202 @@
+#include "core/epsilon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "math/combinatorics.h"
+#include "math/hypergeometric.h"
+#include "util/require.h"
+
+namespace pqs::core {
+
+namespace {
+
+void check_nq(std::int64_t n, std::int64_t q) {
+  PQS_REQUIRE(n >= 1, "universe size");
+  PQS_REQUIRE(q >= 1 && q <= n, "quorum size");
+}
+
+}  // namespace
+
+// ---- eps-intersecting ---------------------------------------------------
+
+double nonintersection_exact(std::int64_t n, std::int64_t q) {
+  check_nq(n, q);
+  if (2 * q > n) return 0.0;  // two q-subsets must overlap
+  // By symmetry fix Q; P(Q' misses all of Q) = C(n-q, q) / C(n, q).
+  return math::exp_probability(math::log_choose(n - q, q) -
+                               math::log_choose(n, q));
+}
+
+double nonintersection_bound(std::int64_t n, std::int64_t q) {
+  check_nq(n, q);
+  const double l2 = static_cast<double>(q) * static_cast<double>(q) /
+                    static_cast<double>(n);
+  return std::min(1.0, std::exp(-l2));
+}
+
+// ---- (b, eps)-dissemination ----------------------------------------------
+
+double dissemination_epsilon_exact(std::int64_t n, std::int64_t q,
+                                   std::int64_t b) {
+  check_nq(n, q);
+  PQS_REQUIRE(b >= 0 && b <= n, "byzantine count");
+  // eps = P(Q ∩ Q' ⊆ B)
+  //     = sum_x P(|Q ∩ B| = x) * P(Q' avoids Q \ B),   |Q \ B| = q - x
+  //     = sum_x H(b; n, q)(x) * C(n - (q - x), q) / C(n, q).
+  const auto X = math::make_hypergeometric(n, b, q);
+  const double log_denominator = math::log_choose(n, q);
+  std::vector<double> terms;
+  for (std::int64_t x = X.support_min(); x <= X.support_max(); ++x) {
+    const std::int64_t correct_in_q = q - x;  // |Q \ B|
+    const double log_avoid =
+        math::log_choose(n - correct_in_q, q) - log_denominator;
+    if (log_avoid == math::kNegInf) continue;
+    terms.push_back(X.log_pmf(x) + log_avoid);
+  }
+  return math::exp_probability(math::log_sum(terms));
+}
+
+double dissemination_bound_third(std::int64_t n, std::int64_t q) {
+  check_nq(n, q);
+  const double l2 = static_cast<double>(q) * static_cast<double>(q) /
+                    static_cast<double>(n);
+  return std::min(1.0, 2.0 * std::exp(-l2 / 6.0));
+}
+
+double dissemination_bound_alpha(std::int64_t n, std::int64_t q,
+                                 double alpha) {
+  check_nq(n, q);
+  PQS_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+  const double l2 = static_cast<double>(q) * static_cast<double>(q) /
+                    static_cast<double>(n);
+  const double exponent = l2 * (1.0 - std::sqrt(alpha)) / 2.0;
+  const double bound = 2.0 / (1.0 - alpha) * std::pow(alpha, exponent);
+  return std::min(1.0, bound);
+}
+
+// ---- (b, eps)-masking -----------------------------------------------------
+
+std::int64_t masking_threshold(std::int64_t n, std::int64_t q) {
+  check_nq(n, q);
+  const double k = static_cast<double>(q) * static_cast<double>(q) /
+                   (2.0 * static_cast<double>(n));
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(k)));
+}
+
+double masking_epsilon_exact(std::int64_t n, std::int64_t q, std::int64_t b,
+                             std::int64_t k) {
+  check_nq(n, q);
+  PQS_REQUIRE(b >= 0 && b <= n, "byzantine count");
+  PQS_REQUIRE(k >= 1 && k <= n, "threshold k");
+  // Success requires |Q ∩ B| < k (faulty servers cannot reach the
+  // threshold) and |Q' ∩ (Q \ B)| >= k (enough correct, up-to-date
+  // servers answer the read). X = |Q ∩ B| ~ H(b; n, q); given X = x the
+  // set Q \ B has q - x elements, and Y = |Q' ∩ (Q\B)| ~ H(q - x; n, q)
+  // because Q' is an independent uniform q-subset.
+  const auto X = math::make_hypergeometric(n, b, q);
+  // Structural zero: the faulty servers can never reach the threshold
+  // (max |Q ∩ B| < k) and pigeonhole forces |Q ∩ Q' \ B| >= 2q - n - b >= k
+  // for every quorum pair, so the read cannot fail. Returning exactly 0
+  // here avoids reporting the ~1e-15 noise of the log-domain summation.
+  if (X.support_max() < k && 2 * q - n - b >= k) return 0.0;
+  double success = 0.0;
+  const std::int64_t x_hi = std::min(X.support_max(), k - 1);
+  for (std::int64_t x = X.support_min(); x <= x_hi; ++x) {
+    const auto Y = math::make_hypergeometric(n, q - x, q);
+    success += X.pmf(x) * Y.upper_tail(k);
+  }
+  return std::clamp(1.0 - success, 0.0, 1.0);
+}
+
+double masking_psi1(double l) {
+  PQS_REQUIRE(l > 2.0, "masking requires l = q/b > 2");
+  constexpr double kFourE = 4.0 * 2.718281828459045;
+  if (l <= kFourE) {
+    const double t = l / 2.0 - 1.0;
+    return t * t / (4.0 * l);
+  }
+  return 1.0 / 3.0;
+}
+
+double masking_psi2(double l) {
+  PQS_REQUIRE(l > 2.0, "masking requires l = q/b > 2");
+  const double t = l - 2.0;
+  return t * t / (8.0 * l * (l - 1.0));
+}
+
+double masking_bound(std::int64_t n, std::int64_t q, std::int64_t b) {
+  check_nq(n, q);
+  PQS_REQUIRE(b >= 1, "byzantine count");
+  const double l = static_cast<double>(q) / static_cast<double>(b);
+  const double psi = std::min(masking_psi1(l), masking_psi2(l));
+  const double q2n = static_cast<double>(q) * static_cast<double>(q) /
+                     static_cast<double>(n);
+  return std::min(1.0, 2.0 * std::exp(-q2n * psi));
+}
+
+double expected_faulty_overlap(std::int64_t n, std::int64_t q,
+                               std::int64_t b) {
+  check_nq(n, q);
+  return static_cast<double>(q) * static_cast<double>(b) /
+         static_cast<double>(n);
+}
+
+double expected_correct_overlap(std::int64_t n, std::int64_t q,
+                                std::int64_t b) {
+  check_nq(n, q);
+  const double nn = static_cast<double>(n);
+  return static_cast<double>(q) * static_cast<double>(q) / nn *
+         (1.0 - static_cast<double>(b) / nn);
+}
+
+// ---- solvers ---------------------------------------------------------------
+
+namespace {
+
+// Generic scan: smallest q in [1, q_max] with eps(q) <= target. The exact
+// eps functions are not guaranteed monotone once k(q) jumps (masking), so a
+// linear scan is the honest choice; costs are trivial for n <= 10^4.
+template <typename EpsFn>
+std::optional<std::int64_t> scan_min_q(std::int64_t q_max, double target,
+                                       EpsFn eps) {
+  for (std::int64_t q = 1; q <= q_max; ++q) {
+    if (eps(q) <= target) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> min_q_intersecting(std::int64_t n, double target) {
+  PQS_REQUIRE(n >= 1, "universe size");
+  PQS_REQUIRE(target > 0.0 && target < 1.0, "target eps");
+  return scan_min_q(n, target,
+                    [n](std::int64_t q) { return nonintersection_exact(n, q); });
+}
+
+std::optional<std::int64_t> min_q_dissemination(std::int64_t n, std::int64_t b,
+                                                double target) {
+  PQS_REQUIRE(n >= 1, "universe size");
+  PQS_REQUIRE(b >= 0 && b < n, "byzantine count");
+  PQS_REQUIRE(target > 0.0 && target < 1.0, "target eps");
+  // Availability: A(<Q,w>) = n - q + 1 must exceed b.
+  const std::int64_t q_max = n - b;
+  return scan_min_q(q_max, target, [n, b](std::int64_t q) {
+    return dissemination_epsilon_exact(n, q, b);
+  });
+}
+
+std::optional<std::int64_t> min_q_masking(std::int64_t n, std::int64_t b,
+                                          double target) {
+  PQS_REQUIRE(n >= 1, "universe size");
+  PQS_REQUIRE(b >= 0 && b < n, "byzantine count");
+  PQS_REQUIRE(target > 0.0 && target < 1.0, "target eps");
+  const std::int64_t q_max = n - b;
+  return scan_min_q(q_max, target, [n, b](std::int64_t q) {
+    return masking_epsilon_exact(n, q, b, masking_threshold(n, q));
+  });
+}
+
+}  // namespace pqs::core

@@ -1,0 +1,86 @@
+// Epsilon analysis for the uniform random-subset construction R(n, q).
+//
+// This module computes, for quorums drawn uniformly and independently among
+// all q-subsets of an n-universe:
+//
+//   * the exact nonintersection probability      P(Q ∩ Q' = ∅)
+//       (the eps of Definition 3.1 for R(n, q); Lemma 3.15 bounds it),
+//   * the exact dissemination failure probability P(Q ∩ Q' ⊆ B), |B| = b
+//       (the eps of Definition 4.1; Lemmas 4.3/4.5 bound it),
+//   * the exact masking failure probability
+//       P(|Q ∩ B| >= k  or  |Q ∩ Q'\B| < k)
+//       (the eps of Definition 5.1; Lemmas 5.7/5.9 bound it),
+//
+// together with the paper's closed-form bounds and minimal-q solvers used to
+// regenerate Section 6. Everything is exact log-domain arithmetic; the
+// derivations are spelled out in the .cc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace pqs::core {
+
+// ---- eps-intersecting (Section 3) -------------------------------------
+
+// Exact P(Q ∩ Q' = ∅) = C(n-q, q) / C(n, q).
+double nonintersection_exact(std::int64_t n, std::int64_t q);
+
+// Theorem 3.16 bound: e^{-l^2} with l = q / sqrt(n), i.e. e^{-q^2/n}.
+double nonintersection_bound(std::int64_t n, std::int64_t q);
+
+// ---- (b, eps)-dissemination (Section 4) --------------------------------
+
+// Exact P(Q ∩ Q' ⊆ B) for any fixed |B| = b (uniformity makes the value
+// independent of which B): condition on X = |Q ∩ B| ~ H(b; n, q) and
+// require Q' to avoid the q - X servers of Q \ B.
+double dissemination_epsilon_exact(std::int64_t n, std::int64_t q,
+                                   std::int64_t b);
+
+// Lemma 4.3 bound for b = n/3: 2 e^{-l^2/6} = 2 e^{-q^2/(6n)}.
+double dissemination_bound_third(std::int64_t n, std::int64_t q);
+
+// Lemma 4.5 bound for b = alpha n, 1/3 < alpha < 1:
+//   eps_alpha = 2/(1-alpha) * alpha^{l^2 (1-sqrt(alpha))/2}.
+double dissemination_bound_alpha(std::int64_t n, std::int64_t q, double alpha);
+
+// ---- (b, eps)-masking (Section 5) --------------------------------------
+
+// The paper's read threshold k = q^2/(2n), rounded up to stay strictly
+// between E[X] = qb/n and E[Y] = (q^2/n)(1 - q/(ln)) (Section 5.3).
+std::int64_t masking_threshold(std::int64_t n, std::int64_t q);
+
+// Exact eps = 1 - P(|Q ∩ B| < k  and  |Q ∩ Q'\B| >= k): condition on
+// X = |Q ∩ B|; given X = x, Y = |Q' ∩ (Q\B)| ~ H(q - x; n, q).
+double masking_epsilon_exact(std::int64_t n, std::int64_t q, std::int64_t b,
+                             std::int64_t k);
+
+// psi_1 / psi_2 of Lemmas 5.7 and 5.9 (l = q/b, valid for l > 2).
+double masking_psi1(double l);
+double masking_psi2(double l);
+
+// Theorem 5.10 bound: 2 exp(-(q^2/n) min{psi1(l), psi2(l)}), l = q/b.
+double masking_bound(std::int64_t n, std::int64_t q, std::int64_t b);
+
+// Expectations of Section 5.3 (Eqs. 13 and 14), used by tests and the
+// threshold ablation: E[X] = qb/n and E[Y] = (q^2/n)(1 - b/n).
+double expected_faulty_overlap(std::int64_t n, std::int64_t q, std::int64_t b);
+double expected_correct_overlap(std::int64_t n, std::int64_t q,
+                                std::int64_t b);
+
+// ---- Minimal-q solvers (Section 6 procedure) ---------------------------
+//
+// Each returns the smallest quorum size q whose exact eps is <= target,
+// subject to the availability constraint A = n - q + 1 > b (so q <= n - b),
+// or nullopt when no q qualifies. This is the procedure that regenerates
+// the l columns of Tables 2-4 ("l was chosen as small as possible subject
+// to eps <= .001").
+
+std::optional<std::int64_t> min_q_intersecting(std::int64_t n, double target);
+std::optional<std::int64_t> min_q_dissemination(std::int64_t n, std::int64_t b,
+                                                double target);
+// Uses k = masking_threshold(n, q) for each candidate q.
+std::optional<std::int64_t> min_q_masking(std::int64_t n, std::int64_t b,
+                                          double target);
+
+}  // namespace pqs::core

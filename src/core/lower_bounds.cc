@@ -1,0 +1,63 @@
+#include "core/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quorum/measures.h"
+#include "util/require.h"
+
+namespace pqs::core {
+
+double strict_load_lower_bound(std::int64_t n) {
+  PQS_REQUIRE(n >= 1, "universe size");
+  return 1.0 / std::sqrt(static_cast<double>(n));
+}
+
+double strict_dissemination_load_lower_bound(std::int64_t n, std::int64_t b) {
+  PQS_REQUIRE(n >= 1 && b >= 0, "parameters");
+  return std::sqrt((static_cast<double>(b) + 1.0) / static_cast<double>(n));
+}
+
+std::int64_t strict_dissemination_max_b(std::int64_t n) {
+  return (n - 1) / 3;
+}
+
+double strict_masking_load_lower_bound(std::int64_t n, std::int64_t b) {
+  PQS_REQUIRE(n >= 1 && b >= 0, "parameters");
+  return std::sqrt((2.0 * static_cast<double>(b) + 1.0) /
+                   static_cast<double>(n));
+}
+
+std::int64_t strict_masking_max_b(std::int64_t n) { return (n - 1) / 4; }
+
+double probabilistic_load_lower_bound(double expected_quorum_size,
+                                      std::int64_t n, double epsilon) {
+  PQS_REQUIRE(expected_quorum_size > 0.0, "expected quorum size");
+  PQS_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0, "epsilon");
+  const double mean_term = expected_quorum_size / static_cast<double>(n);
+  const double s = 1.0 - std::sqrt(epsilon);
+  const double intersect_term = s * s / expected_quorum_size;
+  return std::max(mean_term, intersect_term);
+}
+
+double probabilistic_load_floor(std::int64_t n, double epsilon) {
+  PQS_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0, "epsilon");
+  return (1.0 - std::sqrt(epsilon)) / std::sqrt(static_cast<double>(n));
+}
+
+double probabilistic_masking_load_lower_bound(std::int64_t n, std::int64_t b,
+                                              double epsilon) {
+  PQS_REQUIRE(epsilon >= 0.0 && epsilon < 0.5, "epsilon below 1/2");
+  return (1.0 - 2.0 * epsilon) / (1.0 - epsilon) * static_cast<double>(b) /
+         static_cast<double>(n);
+}
+
+double strict_failure_probability_lower_bound(std::int64_t n, double p) {
+  PQS_REQUIRE(p >= 0.0 && p <= 1.0, "crash probability");
+  const std::int64_t majority = (n + 2) / 2;  // ceil((n+1)/2)
+  const double f_majority =
+      quorum::size_based_failure_probability(n, majority, p);
+  return std::min(f_majority, p);
+}
+
+}  // namespace pqs::core

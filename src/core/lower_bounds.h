@@ -1,0 +1,38 @@
+// Load lower bounds and resilience caps proved in the paper, as callable
+// formulas. Tests assert every shipped construction satisfies them; the
+// Table 1 bench prints them against achieved values.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::core {
+
+// ---- Strict systems (Section 2, Table 1) --------------------------------
+
+// Naor-Wool: L(Q) >= max(1/c(Q), c(Q)/n) >= 1/sqrt(n).
+double strict_load_lower_bound(std::int64_t n);
+// b-dissemination: L >= sqrt((b+1)/n); b <= floor((n-1)/3).
+double strict_dissemination_load_lower_bound(std::int64_t n, std::int64_t b);
+std::int64_t strict_dissemination_max_b(std::int64_t n);
+// b-masking: L >= sqrt((2b+1)/n); b <= floor((n-1)/4).
+double strict_masking_load_lower_bound(std::int64_t n, std::int64_t b);
+std::int64_t strict_masking_max_b(std::int64_t n);
+
+// ---- Probabilistic systems ----------------------------------------------
+
+// Theorem 3.9: L(<Q,w>) >= max(E|Q|/n, (1-sqrt(eps))^2 / E|Q|).
+double probabilistic_load_lower_bound(double expected_quorum_size,
+                                      std::int64_t n, double epsilon);
+// Corollary 3.12: L >= (1 - sqrt(eps)) / sqrt(n).
+double probabilistic_load_floor(std::int64_t n, double epsilon);
+// Theorem 5.5: a (b, eps)-masking system has L > (1-2eps)/(1-eps) * b/n.
+double probabilistic_masking_load_lower_bound(std::int64_t n, std::int64_t b,
+                                              double epsilon);
+
+// Peleg-Wool availability facts used in Figures 1-3 (footnote 3): the best
+// failure probability any strict quorum system over at most n servers can
+// achieve at crash probability p — the majority system for p < 1/2, a
+// singleton (F_p = p) for p >= 1/2.
+double strict_failure_probability_lower_bound(std::int64_t n, double p);
+
+}  // namespace pqs::core

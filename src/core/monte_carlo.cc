@@ -1,0 +1,145 @@
+#include "core/monte_carlo.h"
+
+#include <algorithm>
+
+#include "math/sampling.h"
+#include "util/require.h"
+
+namespace pqs::core {
+
+namespace {
+
+// |quorum ∩ {0..b-1}| for a sorted quorum.
+std::uint32_t overlap_with_prefix(const quorum::Quorum& q, std::uint32_t b) {
+  std::uint32_t count = 0;
+  for (auto u : q) {
+    if (u < b) ++count;
+    else break;
+  }
+  return count;
+}
+
+// |a ∩ b \ {0..prefix-1}| for sorted quorums.
+std::uint32_t overlap_excluding_prefix(const quorum::Quorum& a,
+                                       const quorum::Quorum& b,
+                                       std::uint32_t prefix) {
+  std::uint32_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) {
+      if (*ia >= prefix) ++count;
+      ++ia;
+      ++ib;
+    } else if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+math::Proportion estimate_nonintersection(const quorum::QuorumSystem& system,
+                                          std::uint64_t samples,
+                                          math::Rng& rng) {
+  math::Proportion result;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto a = system.sample(rng);
+    const auto b = system.sample(rng);
+    result.add(!math::sorted_intersects(a, b));
+  }
+  return result;
+}
+
+math::Proportion estimate_dissemination_epsilon(
+    const quorum::QuorumSystem& system, std::uint32_t b, std::uint64_t samples,
+    math::Rng& rng) {
+  PQS_REQUIRE(b <= system.universe_size(), "byzantine count");
+  math::Proportion result;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto qa = system.sample(rng);
+    const auto qb = system.sample(rng);
+    // Failure event: every common server is Byzantine (Q ∩ Q' ⊆ B).
+    result.add(overlap_excluding_prefix(qa, qb, b) == 0);
+  }
+  return result;
+}
+
+math::Proportion estimate_masking_epsilon(const quorum::QuorumSystem& system,
+                                          std::uint32_t b, std::uint32_t k,
+                                          std::uint64_t samples,
+                                          math::Rng& rng) {
+  PQS_REQUIRE(b <= system.universe_size(), "byzantine count");
+  math::Proportion result;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto read_q = system.sample(rng);
+    const auto write_q = system.sample(rng);
+    const std::uint32_t faulty_in_read = overlap_with_prefix(read_q, b);
+    const std::uint32_t fresh_correct =
+        overlap_excluding_prefix(read_q, write_q, b);
+    result.add(faulty_in_read >= k || fresh_correct < k);
+  }
+  return result;
+}
+
+std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
+                                          std::uint64_t samples,
+                                          math::Rng& rng) {
+  PQS_REQUIRE(samples > 0, "samples");
+  std::vector<std::uint64_t> hits(system.universe_size(), 0);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    for (auto u : system.sample(rng)) ++hits[u];
+  }
+  std::vector<double> loads(hits.size());
+  for (std::size_t u = 0; u < hits.size(); ++u) {
+    loads[u] = static_cast<double>(hits[u]) / static_cast<double>(samples);
+  }
+  return loads;
+}
+
+double estimate_load(const quorum::QuorumSystem& system, std::uint64_t samples,
+                     math::Rng& rng) {
+  const auto loads = estimate_server_loads(system, samples, rng);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+math::Proportion estimate_failure_probability(
+    const quorum::QuorumSystem& system, double p, std::uint64_t samples,
+    math::Rng& rng) {
+  math::Proportion result;
+  std::vector<bool> alive(system.universe_size());
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    for (std::uint32_t u = 0; u < alive.size(); ++u) {
+      alive[u] = !rng.chance(p);
+    }
+    result.add(!system.has_live_quorum(alive));
+  }
+  return result;
+}
+
+math::Proportion estimate_split_strategy_nonintersection(std::uint32_t n,
+                                                         std::uint32_t q,
+                                                         std::uint64_t samples,
+                                                         math::Rng& rng) {
+  PQS_REQUIRE(q <= n / 2, "split strategy needs q <= n/2");
+  const std::uint32_t half = n / 2;
+  auto draw = [&]() {
+    quorum::Quorum quorum_ids = math::sample_without_replacement(half, q, rng);
+    if (rng.chance(0.5)) {
+      for (auto& u : quorum_ids) u += half;
+    }
+    return quorum_ids;
+  };
+  math::Proportion result;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto a = draw();
+    const auto b = draw();
+    result.add(!math::sorted_intersects(a, b));
+  }
+  return result;
+}
+
+}  // namespace pqs::core

@@ -1,0 +1,50 @@
+#include "crypto/mac.h"
+
+#include <cstring>
+
+#include "math/rng.h"
+
+namespace pqs::crypto {
+
+namespace {
+
+std::uint64_t compute_tag(const Key128& key, std::uint64_t variable,
+                          std::int64_t value, std::uint64_t timestamp,
+                          std::uint32_t writer) {
+  std::uint8_t buf[28];
+  std::memcpy(buf, &variable, 8);
+  std::memcpy(buf + 8, &value, 8);
+  std::memcpy(buf + 16, &timestamp, 8);
+  std::memcpy(buf + 24, &writer, 4);
+  return siphash24(key, buf, sizeof(buf));
+}
+
+}  // namespace
+
+Signer Signer::from_seed(std::uint64_t seed) {
+  math::SplitMix64 sm(seed ^ 0x5ec7e7a1u);
+  Key128 key;
+  const std::uint64_t lo = sm.next();
+  const std::uint64_t hi = sm.next();
+  std::memcpy(key.data(), &lo, 8);
+  std::memcpy(key.data() + 8, &hi, 8);
+  return Signer(key);
+}
+
+SignedRecord Signer::sign(std::uint64_t variable, std::int64_t value,
+                          std::uint64_t timestamp, std::uint32_t writer) const {
+  SignedRecord r;
+  r.variable = variable;
+  r.value = value;
+  r.timestamp = timestamp;
+  r.writer = writer;
+  r.tag = compute_tag(key_, variable, value, timestamp, writer);
+  return r;
+}
+
+bool Verifier::verify(const SignedRecord& record) const {
+  return record.tag == compute_tag(key_, record.variable, record.value,
+                                   record.timestamp, record.writer);
+}
+
+}  // namespace pqs::crypto

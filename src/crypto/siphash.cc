@@ -1,0 +1,95 @@
+#include "crypto/siphash.h"
+
+#include <cstring>
+
+namespace pqs::crypto {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  // This codebase only targets little-endian platforms (checked in tests via
+  // the official SipHash vectors); memcpy suffices.
+  return v;
+}
+
+inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data) {
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t len = data.size();
+  const std::uint8_t* in = data.data();
+  const std::size_t full_blocks = len / 8;
+
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load_le64(in + 8 * i);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  const std::uint8_t* tail = in + 8 * full_blocks;
+  switch (len & 7) {
+    case 7: last |= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: last |= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: last |= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: last |= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: last |= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: last |= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1: last |= static_cast<std::uint64_t>(tail[0]); break;
+    case 0: break;
+  }
+
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t siphash24(const Key128& key, const void* data, std::size_t len) {
+  return siphash24(
+      key, std::span<const std::uint8_t>(
+               static_cast<const std::uint8_t*>(data), len));
+}
+
+}  // namespace pqs::crypto

@@ -1,0 +1,25 @@
+// SipHash-2-4 (Aumasson & Bernstein), implemented from scratch.
+//
+// The paper's dissemination quorum systems assume *self-verifying data*:
+// "data that servers can suppress but not undetectably alter (such as
+// digitally signed data)" (Section 4). In this reproduction the writer keys
+// a SipHash-2-4 MAC over (variable, value, timestamp); the simulation
+// guarantees faulty servers never learn the key, which yields exactly the
+// suppress-but-not-alter adversary the paper analyzes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pqs::crypto {
+
+using Key128 = std::array<std::uint8_t, 16>;
+
+// SipHash-2-4 of `data` under `key`, returning the 64-bit tag.
+std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data);
+
+// Convenience overload over raw bytes.
+std::uint64_t siphash24(const Key128& key, const void* data, std::size_t len);
+
+}  // namespace pqs::crypto

@@ -1,0 +1,74 @@
+#include "diffusion/gossip.h"
+
+#include "math/sampling.h"
+#include "util/require.h"
+
+namespace pqs::diffusion {
+
+GossipEngine::GossipEngine(GossipConfig config,
+                           std::optional<crypto::Verifier> verifier)
+    : config_(config), verifier_(std::move(verifier)) {
+  PQS_REQUIRE(config_.fanout >= 1, "gossip fanout");
+  PQS_REQUIRE(!config_.verify || verifier_.has_value(),
+              "verified gossip needs a verifier");
+}
+
+RoundStats GossipEngine::run_round(
+    std::vector<std::unique_ptr<replica::Server>>& servers, math::Rng& rng) {
+  RoundStats stats;
+  const auto n = static_cast<std::uint32_t>(servers.size());
+  PQS_REQUIRE(n >= 2, "gossip needs at least two servers");
+  const std::uint32_t fanout = std::min(config_.fanout, n - 1);
+  for (auto& sender : servers) {
+    const auto records = sender->gossip_records();
+    if (records.empty()) continue;
+    // Pick fanout distinct peers other than the sender.
+    auto peers = math::sample_without_replacement(n - 1, fanout, rng);
+    for (auto& p : peers) {
+      if (p >= sender->id()) ++p;  // skip self
+    }
+    for (auto p : peers) {
+      replica::Server& receiver = *servers[p];
+      if (receiver.mode() != replica::FaultMode::kCorrect) continue;
+      for (const auto& record : records) {
+        ++stats.pushes;
+        if (config_.verify && !verifier_->verify(record)) {
+          ++stats.rejected;
+          continue;
+        }
+        if (receiver.adopt(record)) ++stats.adoptions;
+      }
+    }
+  }
+  return stats;
+}
+
+RoundStats GossipEngine::run_rounds(
+    std::vector<std::unique_ptr<replica::Server>>& servers,
+    std::uint32_t count, math::Rng& rng) {
+  RoundStats total;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const RoundStats r = run_round(servers, rng);
+    total.pushes += r.pushes;
+    total.adoptions += r.adoptions;
+    total.rejected += r.rejected;
+  }
+  return total;
+}
+
+double GossipEngine::coverage(
+    const std::vector<std::unique_ptr<replica::Server>>& servers,
+    replica::VariableId variable, std::uint64_t timestamp) {
+  std::uint32_t correct = 0;
+  std::uint32_t fresh = 0;
+  for (const auto& s : servers) {
+    if (s->mode() != replica::FaultMode::kCorrect) continue;
+    ++correct;
+    const auto* rec = s->find(variable);
+    if (rec != nullptr && rec->timestamp >= timestamp) ++fresh;
+  }
+  if (correct == 0) return 0.0;
+  return static_cast<double>(fresh) / static_cast<double>(correct);
+}
+
+}  // namespace pqs::diffusion

@@ -1,0 +1,62 @@
+// Epidemic diffusion (anti-entropy gossip).
+//
+// Section 1.1: "a system built with probabilistic quorum systems can be
+// strengthened by a properly designed diffusion mechanism, which propagates
+// updates to replicated data lazily ... the probability of inconsistency
+// using probabilistic quorum constructions can be driven further toward
+// zero when updates are sufficiently dispersed in time."
+//
+// Each round, every non-crashed server pushes its records to `fanout`
+// uniformly random peers; correct receivers adopt records with higher
+// timestamps. In Byzantine-safe mode ([MMR99]) a record is adopted only if
+// its writer MAC verifies, so faulty servers cannot poison the epidemic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/mac.h"
+#include "math/rng.h"
+#include "replica/server.h"
+
+namespace pqs::diffusion {
+
+struct GossipConfig {
+  std::uint32_t fanout = 2;
+  // Verify writer MACs before adoption (Byzantine-safe diffusion).
+  bool verify = false;
+};
+
+struct RoundStats {
+  std::uint64_t pushes = 0;     // record transmissions attempted
+  std::uint64_t adoptions = 0;  // records accepted as fresher
+  std::uint64_t rejected = 0;   // records dropped by verification
+};
+
+class GossipEngine {
+ public:
+  GossipEngine(GossipConfig config,
+               std::optional<crypto::Verifier> verifier = std::nullopt);
+
+  // One synchronous anti-entropy round over the given servers.
+  RoundStats run_round(std::vector<std::unique_ptr<replica::Server>>& servers,
+                       math::Rng& rng);
+
+  // Convenience: `count` rounds; stats are summed.
+  RoundStats run_rounds(std::vector<std::unique_ptr<replica::Server>>& servers,
+                        std::uint32_t count, math::Rng& rng);
+
+  // Fraction of *correct* servers whose stored record for `variable` has
+  // timestamp >= `timestamp` (coverage of a write after gossip).
+  static double coverage(
+      const std::vector<std::unique_ptr<replica::Server>>& servers,
+      replica::VariableId variable, std::uint64_t timestamp);
+
+ private:
+  GossipConfig config_;
+  std::optional<crypto::Verifier> verifier_;
+};
+
+}  // namespace pqs::diffusion

@@ -1,0 +1,59 @@
+#include "math/binomial.h"
+
+#include <cmath>
+#include <vector>
+
+#include "math/combinatorics.h"
+#include "util/require.h"
+
+namespace pqs::math {
+
+double binomial_log_pmf(std::int64_t n, double p, std::int64_t k) {
+  PQS_REQUIRE(n >= 0, "binomial n");
+  PQS_REQUIRE(p >= 0.0 && p <= 1.0, "binomial p");
+  if (k < 0 || k > n) return kNegInf;
+  if (p == 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p == 1.0) return k == n ? 0.0 : kNegInf;
+  return log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double binomial_pmf(std::int64_t n, double p, std::int64_t k) {
+  return exp_probability(binomial_log_pmf(n, p, k));
+}
+
+double binomial_upper_tail(std::int64_t n, double p, std::int64_t k) {
+  PQS_REQUIRE(n >= 0, "binomial n");
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum whichever tail is the *smaller probability* (the one away from the
+  // mean) directly in log domain and complement otherwise; summing the
+  // large side and subtracting would destroy tiny tails entirely.
+  std::vector<double> logs;
+  if (static_cast<double>(k) > static_cast<double>(n) * p) {
+    logs.reserve(static_cast<std::size_t>(n - k + 1));
+    for (std::int64_t i = k; i <= n; ++i) logs.push_back(binomial_log_pmf(n, p, i));
+    return exp_probability(log_sum(logs));
+  }
+  logs.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) logs.push_back(binomial_log_pmf(n, p, i));
+  const double lower = exp_probability(log_sum(logs));
+  return lower >= 1.0 ? 0.0 : 1.0 - lower;
+}
+
+double binomial_lower_tail(std::int64_t n, double p, std::int64_t k) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  const double upper = binomial_upper_tail(n, p, k + 1);
+  return upper >= 1.0 ? 0.0 : 1.0 - upper;
+}
+
+double binomial_mean(std::int64_t n, double p) {
+  return static_cast<double>(n) * p;
+}
+
+double binomial_variance(std::int64_t n, double p) {
+  return static_cast<double>(n) * p * (1.0 - p);
+}
+
+}  // namespace pqs::math

@@ -1,0 +1,28 @@
+// Binomial distribution in log domain.
+//
+// Used for every crash-failure probability in the paper: a size-based quorum
+// system over n servers with quorum size q is disabled exactly when more than
+// n - q servers crash, so F_p = P(Bin(n, p) > n - q)  (Sections 3.4, 5.5).
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::math {
+
+// ln P(Bin(n, p) = k). p in [0, 1]. Out-of-support k yields -inf.
+double binomial_log_pmf(std::int64_t n, double p, std::int64_t k);
+
+// P(Bin(n, p) = k).
+double binomial_pmf(std::int64_t n, double p, std::int64_t k);
+
+// P(Bin(n, p) >= k), computed by summing the smaller tail in log domain.
+double binomial_upper_tail(std::int64_t n, double p, std::int64_t k);
+
+// P(Bin(n, p) <= k).
+double binomial_lower_tail(std::int64_t n, double p, std::int64_t k);
+
+// Mean and variance (np, np(1-p)).
+double binomial_mean(std::int64_t n, double p);
+double binomial_variance(std::int64_t n, double p);
+
+}  // namespace pqs::math

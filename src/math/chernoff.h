@@ -1,0 +1,28 @@
+// The specific Chernoff/Hoeffding-style bounds the paper invokes.
+//
+// These are *bounds*, not exact probabilities; the benches use them to show
+// how tight the paper's closed forms are against the exact log-domain
+// computations in core/epsilon.cc, and the failure-probability analyses use
+// the additive Hoeffding form exactly as in Sections 3.4 and 5.5.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::math {
+
+// Multiplicative upper-tail Chernoff bound for a sum of independent
+// Bernoullis with mean mu, as quoted in the paper from [MR95, p. 72]:
+//   P(X > (1+g) mu) <= exp(-mu g^2 / 4)      for 0 < g <= 2e-1,
+//   P(X > (1+g) mu) <= 2^{-(1+g) mu}         for g > 2e-1.
+double chernoff_upper(double mu, double gamma);
+
+// Multiplicative lower-tail bound: P(X < (1-d) mu) <= exp(-mu d^2 / 2),
+// valid for 0 <= d <= 1.
+double chernoff_lower(double mu, double delta);
+
+// Additive Hoeffding bound used for crash failure probabilities:
+//   P(#fail > n - q) <= exp(-2 n (1 - q/n - p)^2)  when p < 1 - q/n
+// (Section 3.4). Returns 1.0 when the condition fails.
+double failure_probability_bound(std::int64_t n, std::int64_t q, double p);
+
+}  // namespace pqs::math

@@ -1,0 +1,59 @@
+#include "math/combinatorics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace pqs::math {
+
+double log_factorial(std::int64_t n) {
+  PQS_REQUIRE(n >= 0, "factorial of negative number");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_choose(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  if (k == 0 || k == n) return 0.0;
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+std::uint64_t choose_exact(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    const std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    // result * num / i is integral at each step; guard the multiply.
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      throw std::overflow_error("choose_exact overflow");
+    }
+    result = result * num / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+double log_add(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_sum(std::span<const double> terms) {
+  double hi = kNegInf;
+  for (double t : terms) hi = std::max(hi, t);
+  if (hi == kNegInf) return kNegInf;
+  double acc = 0.0;
+  for (double t : terms) acc += std::exp(t - hi);
+  return hi + std::log(acc);
+}
+
+double exp_probability(double log_p) {
+  if (log_p == kNegInf) return 0.0;
+  return std::min(1.0, std::exp(std::min(log_p, 0.0)));
+}
+
+}  // namespace pqs::math

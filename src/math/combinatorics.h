@@ -1,0 +1,39 @@
+// Log-domain combinatorics.
+//
+// All probability computations in the library (exact epsilon values for the
+// probabilistic quorum constructions, binomial failure-probability tails,
+// hypergeometric intersection distributions) run in log space so that values
+// like C(900, 450) or tail probabilities below 1e-300 stay representable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace pqs::math {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// ln(n!) via lgamma. n must be >= 0.
+double log_factorial(std::int64_t n);
+
+// ln C(n, k). Returns kNegInf when the coefficient is zero (k < 0 or k > n).
+double log_choose(std::int64_t n, std::int64_t k);
+
+// Exact C(n, k) in unsigned 64-bit arithmetic. Throws std::overflow_error if
+// the value exceeds 2^64-1. Used by tests to validate log_choose and by the
+// small-system enumeration code.
+std::uint64_t choose_exact(std::int64_t n, std::int64_t k);
+
+// Numerically stable ln(e^a + e^b).
+double log_add(double a, double b);
+
+// Numerically stable ln(sum_i e^{terms[i]}). Empty input yields kNegInf.
+double log_sum(std::span<const double> terms);
+
+// exp() that clamps tiny negative rounding noise: values in (-1e-12, 0] map
+// to a probability in [0, 1]. Inputs are log-probabilities, so the result is
+// also clamped to at most 1.
+double exp_probability(double log_p);
+
+}  // namespace pqs::math

@@ -1,0 +1,95 @@
+#include "math/hypergeometric.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "math/combinatorics.h"
+#include "util/require.h"
+
+namespace pqs::math {
+
+Hypergeometric make_hypergeometric(std::int64_t population,
+                                   std::int64_t successes,
+                                   std::int64_t draws) {
+  PQS_REQUIRE(population >= 0, "hypergeometric population");
+  PQS_REQUIRE(successes >= 0 && successes <= population,
+              "hypergeometric successes");
+  PQS_REQUIRE(draws >= 0 && draws <= population, "hypergeometric draws");
+  return Hypergeometric{population, successes, draws};
+}
+
+std::int64_t Hypergeometric::support_min() const {
+  return std::max<std::int64_t>(0, draws + successes - population);
+}
+
+std::int64_t Hypergeometric::support_max() const {
+  return std::min(successes, draws);
+}
+
+double Hypergeometric::log_pmf(std::int64_t x) const {
+  if (x < support_min() || x > support_max()) return kNegInf;
+  return log_choose(successes, x) +
+         log_choose(population - successes, draws - x) -
+         log_choose(population, draws);
+}
+
+double Hypergeometric::pmf(std::int64_t x) const {
+  return exp_probability(log_pmf(x));
+}
+
+double Hypergeometric::cdf(std::int64_t x) const {
+  const std::int64_t lo = support_min();
+  const std::int64_t hi = support_max();
+  if (x < lo) return 0.0;
+  if (x >= hi) return 1.0;
+  // Sum the side of the distribution away from the mean directly (it is the
+  // small-probability side); complement for the other, so tiny tails keep
+  // full precision.
+  std::vector<double> logs;
+  const std::int64_t lower_terms = x - lo + 1;
+  const std::int64_t upper_terms = hi - x;
+  if (static_cast<double>(x) < mean()) {
+    logs.reserve(static_cast<std::size_t>(lower_terms));
+    for (std::int64_t i = lo; i <= x; ++i) logs.push_back(log_pmf(i));
+    return exp_probability(log_sum(logs));
+  }
+  logs.reserve(static_cast<std::size_t>(upper_terms));
+  for (std::int64_t i = x + 1; i <= hi; ++i) logs.push_back(log_pmf(i));
+  const double upper = exp_probability(log_sum(logs));
+  return upper >= 1.0 ? 0.0 : 1.0 - upper;
+}
+
+double Hypergeometric::upper_tail(std::int64_t x) const {
+  const std::int64_t lo = support_min();
+  const std::int64_t hi = support_max();
+  if (x <= lo) return 1.0;
+  if (x > hi) return 0.0;
+  const std::int64_t upper_terms = hi - x + 1;
+  const std::int64_t lower_terms = x - lo;
+  std::vector<double> logs;
+  if (static_cast<double>(x) > mean()) {
+    logs.reserve(static_cast<std::size_t>(upper_terms));
+    for (std::int64_t i = x; i <= hi; ++i) logs.push_back(log_pmf(i));
+    return exp_probability(log_sum(logs));
+  }
+  logs.reserve(static_cast<std::size_t>(lower_terms));
+  for (std::int64_t i = lo; i < x; ++i) logs.push_back(log_pmf(i));
+  const double lower = exp_probability(log_sum(logs));
+  return lower >= 1.0 ? 0.0 : 1.0 - lower;
+}
+
+double Hypergeometric::mean() const {
+  if (population == 0) return 0.0;
+  return static_cast<double>(draws) * static_cast<double>(successes) /
+         static_cast<double>(population);
+}
+
+double Hypergeometric::variance() const {
+  if (population <= 1) return 0.0;
+  const double n = static_cast<double>(population);
+  const double K = static_cast<double>(successes);
+  const double q = static_cast<double>(draws);
+  return q * (K / n) * (1.0 - K / n) * (n - q) / (n - 1.0);
+}
+
+}  // namespace pqs::math

@@ -1,0 +1,43 @@
+// Hypergeometric distribution in log domain.
+//
+// The central distribution of the paper: when a quorum Q of size q is drawn
+// uniformly from n servers of which b are faulty, X = |Q ∩ B| is
+// hypergeometric H(b; n, q) (Section 5.3, Eq. 13). Likewise Y = |Q' ∩ (Q\B)|
+// given |Q\B| is hypergeometric, which is what makes the exact epsilon
+// computations in core/epsilon.cc straight sums over this pmf.
+//
+// Parameterization: population n, successes K in the population, q draws
+// without replacement; X counts drawn successes.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::math {
+
+struct Hypergeometric {
+  std::int64_t population;  // n
+  std::int64_t successes;   // K
+  std::int64_t draws;       // q
+
+  // Support [lo, hi]: lo = max(0, q + K - n), hi = min(K, q).
+  std::int64_t support_min() const;
+  std::int64_t support_max() const;
+
+  // ln P(X = x); -inf outside the support.
+  double log_pmf(std::int64_t x) const;
+  double pmf(std::int64_t x) const;
+
+  // P(X <= x) and P(X >= x); summed over the smaller side in log domain.
+  double cdf(std::int64_t x) const;
+  double upper_tail(std::int64_t x) const;
+
+  // E[X] = qK/n, Var[X] = qK/n (1-K/n)(n-q)/(n-1).
+  double mean() const;
+  double variance() const;
+};
+
+// Validates parameters and returns the distribution object.
+Hypergeometric make_hypergeometric(std::int64_t population,
+                                   std::int64_t successes, std::int64_t draws);
+
+}  // namespace pqs::math

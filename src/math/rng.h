@@ -1,0 +1,61 @@
+// Deterministic pseudo-random generation.
+//
+// The whole library (access strategies, Monte-Carlo verifiers, the
+// discrete-event simulator) draws randomness from a single seeded generator
+// so every experiment is reproducible. We implement xoshiro256** with
+// SplitMix64 seeding — small, fast, and good enough statistically for
+// simulation work. The class satisfies std::uniform_random_bit_generator.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::math {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  // Bernoulli(p) trial.
+  bool chance(double p);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  // Forks an independent generator; the child stream does not overlap the
+  // parent's for any practical horizon. Used to give every simulated node
+  // its own stream while keeping whole-run determinism from one seed.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pqs::math

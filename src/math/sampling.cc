@@ -1,0 +1,74 @@
+#include "math/sampling.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace pqs::math {
+
+void sample_without_replacement(std::uint32_t n, std::uint32_t k, Rng& rng,
+                                std::vector<std::uint32_t>& out) {
+  PQS_REQUIRE(k <= n, "sample size exceeds population");
+  out.clear();
+  out.reserve(k);
+  // Floyd's algorithm: for j in [n-k, n), pick t uniform in [0, j]; insert t
+  // unless already present, else insert j. Uniform over all k-subsets.
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const std::uint32_t t =
+        static_cast<std::uint32_t>(rng.below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Rng& rng) {
+  std::vector<std::uint32_t> out;
+  sample_without_replacement(n, k, rng, out);
+  return out;
+}
+
+void shuffle(std::vector<std::uint32_t>& values, Rng& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+bool sorted_intersects(const std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) ++ia;
+    else ++ib;
+  }
+  return false;
+}
+
+std::size_t sorted_intersection_size(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) {
+      ++count;
+      ++ia;
+      ++ib;
+    } else if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return count;
+}
+
+}  // namespace pqs::math

@@ -1,0 +1,38 @@
+// Uniform sampling of server subsets.
+//
+// The access strategy of the paper's construction R(n, q) (Definition 3.13)
+// picks a quorum uniformly at random among all q-subsets of the universe.
+// sample_without_replacement implements that strategy; it is the hot path of
+// every Monte-Carlo verifier and of quorum selection in the protocols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace pqs::math {
+
+// Uniformly samples k distinct values from {0, 1, ..., n-1} using Floyd's
+// algorithm (O(k) expected work, no O(n) allocation). The result is sorted.
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Rng& rng);
+
+// As above but writes into `out` (cleared first) to avoid reallocation in
+// tight Monte-Carlo loops.
+void sample_without_replacement(std::uint32_t n, std::uint32_t k, Rng& rng,
+                                std::vector<std::uint32_t>& out);
+
+// Fisher-Yates shuffle of the whole vector.
+void shuffle(std::vector<std::uint32_t>& values, Rng& rng);
+
+// Returns true iff sorted ranges a and b share at least one element.
+bool sorted_intersects(const std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& b);
+
+// Size of the intersection of two sorted ranges.
+std::size_t sorted_intersection_size(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b);
+
+}  // namespace pqs::math

@@ -1,0 +1,63 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace pqs::math {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::std_error() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void Proportion::add(bool success) {
+  ++trials_;
+  if (success) ++successes_;
+}
+
+void Proportion::add(std::uint64_t successes, std::uint64_t trials) {
+  PQS_REQUIRE(successes <= trials, "Proportion::add");
+  trials_ += trials;
+  successes_ += successes;
+}
+
+double Proportion::estimate() const {
+  if (trials_ == 0) return 0.0;
+  return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+Proportion::Interval Proportion::wilson(double z) const {
+  if (trials_ == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials_);
+  const double p = estimate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+}  // namespace pqs::math

@@ -1,0 +1,57 @@
+// Online statistics and confidence intervals for Monte-Carlo verification.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::math {
+
+// Welford's online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double std_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Bernoulli success counter with Wilson-score confidence intervals — the
+// right tool for checking that an observed nonintersection frequency is
+// statistically consistent with an exact epsilon.
+class Proportion {
+ public:
+  void add(bool success);
+  void add(std::uint64_t successes, std::uint64_t trials);
+
+  std::uint64_t trials() const { return trials_; }
+  std::uint64_t successes() const { return successes_; }
+  double estimate() const;
+
+  struct Interval {
+    double lo;
+    double hi;
+    bool contains(double p) const { return p >= lo && p <= hi; }
+  };
+
+  // Wilson score interval at z standard deviations (z = 3.89 ~ 99.99%).
+  Interval wilson(double z) const;
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+}  // namespace pqs::math

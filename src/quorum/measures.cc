@@ -1,0 +1,13 @@
+#include "quorum/measures.h"
+
+#include "math/binomial.h"
+
+namespace pqs::quorum {
+
+double size_based_failure_probability(std::int64_t n, std::int64_t q,
+                                      double p) {
+  // Disabled iff more than n - q servers crashed.
+  return math::binomial_upper_tail(n, p, n - q + 1);
+}
+
+}  // namespace pqs::quorum

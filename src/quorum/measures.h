@@ -1,0 +1,15 @@
+// Shared analytic measures for size-based quorum systems.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::quorum {
+
+// Failure probability of any system whose quorums all have size q drawn from
+// a universe of n and which has a live quorum iff at least q servers are
+// alive (threshold systems, and the uniform probabilistic construction
+// R(n, q)): F_p = P(#crashed > n - q) for iid crash probability p.
+double size_based_failure_probability(std::int64_t n, std::int64_t q,
+                                      double p);
+
+}  // namespace pqs::quorum

@@ -1,0 +1,58 @@
+// The QuorumSystem interface.
+//
+// A quorum system is a set system over a universe of n servers together with
+// an access strategy w (Definitions 2.1-2.3). Code that uses quorums — the
+// replication protocols, the Monte-Carlo verifiers, the bench harness — only
+// needs to (a) sample a quorum according to w, (b) ask for the analytic
+// quality measures of Section 2: load, fault tolerance, failure probability.
+//
+// Strict systems (src/quorum) guarantee pairwise intersection; probabilistic
+// systems (src/core) guarantee intersection only with probability >= 1 - eps
+// under their strategy. Both implement this interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+#include "quorum/types.h"
+
+namespace pqs::quorum {
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  // Human-readable construction name, e.g. "threshold(n=100,q=51)".
+  virtual std::string name() const = 0;
+
+  // |U|.
+  virtual std::uint32_t universe_size() const = 0;
+
+  // Draws one quorum according to the system's access strategy w.
+  virtual Quorum sample(math::Rng& rng) const = 0;
+
+  // c(Q): size of the smallest quorum.
+  virtual std::uint32_t min_quorum_size() const = 0;
+
+  // Load L induced by the system's strategy (Definition 2.4 / 3.3). All the
+  // constructions in this library are symmetric enough that the load of the
+  // shipped strategy is known in closed form.
+  virtual double load() const = 0;
+
+  // Crash fault tolerance A (Definition 2.5; Definition 3.7 for
+  // probabilistic systems, where it is computed over high-quality quorums).
+  virtual std::uint32_t fault_tolerance() const = 0;
+
+  // F_p (Definition 2.6 / 3.8): probability that no (high-quality) quorum is
+  // fully alive when servers crash independently with probability p.
+  virtual double failure_probability(double p) const = 0;
+
+  // True iff some (high-quality) quorum survives given the alive mask
+  // (alive.size() == universe_size()). Drives the generic Monte-Carlo
+  // failure-probability estimator, which cross-checks failure_probability().
+  virtual bool has_live_quorum(const std::vector<bool>& alive) const = 0;
+};
+
+}  // namespace pqs::quorum

@@ -1,0 +1,23 @@
+#include "quorum/singleton.h"
+
+#include "util/require.h"
+
+namespace pqs::quorum {
+
+SingletonSystem::SingletonSystem(std::uint32_t n, ServerId center)
+    : n_(n), center_(center) {
+  PQS_REQUIRE(n >= 1, "singleton universe size");
+  PQS_REQUIRE(center < n, "singleton center in universe");
+}
+
+std::string SingletonSystem::name() const {
+  return "singleton(n=" + std::to_string(n_) + ")";
+}
+
+Quorum SingletonSystem::sample(math::Rng&) const { return {center_}; }
+
+bool SingletonSystem::has_live_quorum(const std::vector<bool>& alive) const {
+  return alive[center_];
+}
+
+}  // namespace pqs::quorum

@@ -1,0 +1,16 @@
+// Basic vocabulary shared by all quorum-system code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pqs::quorum {
+
+// Servers are numbered 0..n-1 within a universe U (Section 2).
+using ServerId = std::uint32_t;
+
+// A quorum is a sorted set of server ids. Sortedness is an invariant relied
+// on by the intersection routines; constructions produce sorted quorums.
+using Quorum = std::vector<ServerId>;
+
+}  // namespace pqs::quorum

@@ -1,0 +1,120 @@
+#include "quorum/weighted.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "math/sampling.h"
+#include "util/require.h"
+
+namespace pqs::quorum {
+
+WeightedVotingSystem::WeightedVotingSystem(std::vector<std::uint32_t> votes,
+                                           std::uint32_t threshold)
+    : votes_(std::move(votes)), threshold_(threshold) {
+  PQS_REQUIRE(!votes_.empty(), "weighted voting needs servers");
+  for (auto v : votes_) PQS_REQUIRE(v >= 1, "every server needs >= 1 vote");
+  total_votes_ = std::accumulate(votes_.begin(), votes_.end(), 0u);
+  PQS_REQUIRE(threshold_ <= total_votes_, "threshold above total votes");
+  PQS_REQUIRE(2 * threshold_ > total_votes_,
+              "weighted voting requires 2T > V for intersection");
+}
+
+WeightedVotingSystem WeightedVotingSystem::majority(std::uint32_t n) {
+  PQS_REQUIRE(n >= 1, "universe size");
+  return WeightedVotingSystem(std::vector<std::uint32_t>(n, 1), n / 2 + 1);
+}
+
+std::string WeightedVotingSystem::name() const {
+  return "weighted(n=" + std::to_string(votes_.size()) +
+         ",V=" + std::to_string(total_votes_) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+std::uint32_t WeightedVotingSystem::universe_size() const {
+  return static_cast<std::uint32_t>(votes_.size());
+}
+
+Quorum WeightedVotingSystem::sample(math::Rng& rng) const {
+  std::vector<std::uint32_t> order(votes_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  math::shuffle(order, rng);
+  Quorum q;
+  std::uint32_t gathered = 0;
+  for (auto u : order) {
+    q.push_back(u);
+    gathered += votes_[u];
+    if (gathered >= threshold_) break;
+  }
+  std::sort(q.begin(), q.end());
+  return q;
+}
+
+namespace {
+
+// Fewest servers (greedy descending votes) to reach `target` votes.
+std::uint32_t greedy_count(const std::vector<std::uint32_t>& votes,
+                           std::uint32_t target) {
+  std::vector<std::uint32_t> sorted = votes;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::uint32_t gathered = 0;
+  std::uint32_t count = 0;
+  for (auto v : sorted) {
+    if (gathered >= target) break;
+    gathered += v;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint32_t WeightedVotingSystem::min_quorum_size() const {
+  return greedy_count(votes_, threshold_);
+}
+
+double WeightedVotingSystem::load() const {
+  constexpr int kSamples = 20000;
+  math::Rng rng(0x1f0ad ^ (std::uint64_t(total_votes_) << 20) ^ threshold_);
+  std::vector<std::uint32_t> hits(votes_.size(), 0);
+  for (int s = 0; s < kSamples; ++s) {
+    for (auto u : sample(rng)) ++hits[u];
+  }
+  const auto max_hits = *std::max_element(hits.begin(), hits.end());
+  return static_cast<double>(max_hits) / kSamples;
+}
+
+std::uint32_t WeightedVotingSystem::fault_tolerance() const {
+  // Disabling every quorum needs the dead votes to exceed V - T; the
+  // cheapest way takes the largest-vote servers first.
+  return greedy_count(votes_, total_votes_ - threshold_ + 1);
+}
+
+double WeightedVotingSystem::failure_probability(double p) const {
+  // dp[v] = P(alive servers hold exactly v votes); exact in O(n * V).
+  std::vector<double> dp(total_votes_ + 1, 0.0);
+  dp[0] = 1.0;
+  std::uint32_t prefix = 0;
+  for (auto v : votes_) {
+    prefix += v;
+    // Alive with probability 1 - p contributes its v votes (in-place
+    // knapsack update, descending so each server counts once).
+    for (std::uint32_t sum = prefix; sum >= v; --sum) {
+      dp[sum] = dp[sum] * p + dp[sum - v] * (1.0 - p);
+    }
+    for (std::uint32_t sum = 0; sum < v; ++sum) dp[sum] *= p;
+  }
+  double fail = 0.0;
+  for (std::uint32_t sum = 0; sum < threshold_; ++sum) fail += dp[sum];
+  return std::min(1.0, fail);
+}
+
+bool WeightedVotingSystem::has_live_quorum(
+    const std::vector<bool>& alive) const {
+  std::uint32_t gathered = 0;
+  for (std::uint32_t u = 0; u < votes_.size(); ++u) {
+    if (alive[u]) gathered += votes_[u];
+  }
+  return gathered >= threshold_;
+}
+
+}  // namespace pqs::quorum

@@ -1,0 +1,87 @@
+#include "replica/fault.h"
+
+#include "math/sampling.h"
+#include "util/require.h"
+
+namespace pqs::replica {
+
+const char* fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kCorrect: return "correct";
+    case FaultMode::kCrash: return "crash";
+    case FaultMode::kSuppress: return "suppress";
+    case FaultMode::kStaleReplay: return "stale-replay";
+    case FaultMode::kForge: return "forge";
+    case FaultMode::kCollude: return "collude";
+  }
+  return "?";
+}
+
+bool is_byzantine(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kCorrect:
+    case FaultMode::kCrash:
+      return false;
+    default:
+      return true;
+  }
+}
+
+crypto::SignedRecord ColludePlan::forged(VariableId variable) const {
+  crypto::SignedRecord r;
+  r.variable = variable;
+  r.value = value;
+  r.timestamp = timestamp;
+  r.writer = 0;
+  r.tag = tag;
+  return r;
+}
+
+FaultPlan::FaultPlan(std::uint32_t n) : modes_(n, FaultMode::kCorrect) {
+  PQS_REQUIRE(n >= 1, "fault plan universe");
+}
+
+FaultPlan FaultPlan::prefix(std::uint32_t n, std::uint32_t count,
+                            FaultMode mode) {
+  PQS_REQUIRE(count <= n, "more faults than servers");
+  FaultPlan plan(n);
+  for (std::uint32_t i = 0; i < count; ++i) plan.modes_[i] = mode;
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint32_t n, std::uint32_t count,
+                            FaultMode mode, math::Rng& rng) {
+  PQS_REQUIRE(count <= n, "more faults than servers");
+  FaultPlan plan(n);
+  for (auto u : math::sample_without_replacement(n, count, rng)) {
+    plan.modes_[u] = mode;
+  }
+  return plan;
+}
+
+void FaultPlan::set_mode(std::uint32_t server, FaultMode mode) {
+  PQS_REQUIRE(server < modes_.size(), "server id");
+  modes_[server] = mode;
+}
+
+std::uint32_t FaultPlan::count(FaultMode mode) const {
+  std::uint32_t c = 0;
+  for (auto m : modes_) c += (m == mode) ? 1u : 0u;
+  return c;
+}
+
+std::uint32_t FaultPlan::byzantine_count() const {
+  std::uint32_t c = 0;
+  for (auto m : modes_) c += is_byzantine(m) ? 1u : 0u;
+  return c;
+}
+
+std::vector<std::uint32_t> FaultPlan::servers_with(FaultMode mode) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i] == mode) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace pqs::replica

@@ -1,0 +1,73 @@
+#include "replica/instant_cluster.h"
+
+#include <utility>
+
+#include "util/require.h"
+
+namespace pqs::replica {
+
+InstantCluster::InstantCluster(Config config)
+    : InstantCluster(config, FaultPlan(config.quorums
+                                           ? config.quorums->universe_size()
+                                           : 1)) {}
+
+InstantCluster::InstantCluster(Config config, FaultPlan faults)
+    : config_(std::move(config)),
+      signer_(crypto::Signer::from_seed(config_.writer_key_seed)),
+      verifier_(signer_.key()),
+      rng_(config_.seed) {
+  PQS_REQUIRE(config_.quorums != nullptr, "cluster needs a quorum system");
+  const std::uint32_t n = config_.quorums->universe_size();
+  PQS_REQUIRE(faults.size() == n, "fault plan size mismatch");
+  auto collude = std::make_shared<const ColludePlan>();
+  servers_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    servers_.push_back(
+        std::make_unique<Server>(i, faults.mode(i), rng_.fork(), collude));
+  }
+  writer_seq_.assign(1u << 8, 0);
+}
+
+std::uint64_t InstantCluster::next_timestamp(std::uint32_t writer) {
+  PQS_REQUIRE(writer < writer_seq_.size(), "writer id");
+  return (++writer_seq_[writer] << 16) | writer;
+}
+
+WriteResult InstantCluster::write(VariableId variable, std::int64_t value) {
+  return write_as(1, variable, value);
+}
+
+WriteResult InstantCluster::write_as(std::uint32_t writer, VariableId variable,
+                                     std::int64_t value) {
+  WriteResult result;
+  result.quorum = config_.quorums->sample(rng_);
+  result.timestamp = next_timestamp(writer);
+  const auto record = signer_.sign(variable, value, result.timestamp, writer);
+  for (auto u : result.quorum) {
+    const auto out = servers_[u]->process(kClientId, WriteRequest{0, record});
+    for (const auto& o : out) {
+      if (std::holds_alternative<WriteAck>(o.message)) ++result.acks;
+    }
+  }
+  return result;
+}
+
+ReadResult InstantCluster::read(VariableId variable) {
+  ReadResult result;
+  result.quorum = config_.quorums->sample(rng_);
+  std::vector<ReadReply> replies;
+  for (auto u : result.quorum) {
+    const auto out = servers_[u]->process(kClientId, ReadRequest{0, variable});
+    for (const auto& o : out) {
+      if (const auto* r = std::get_if<ReadReply>(&o.message)) {
+        replies.push_back(*r);
+        ++result.replies;
+      }
+    }
+  }
+  result.selection =
+      select(config_.mode, replies, &verifier_, config_.read_threshold);
+  return result;
+}
+
+}  // namespace pqs::replica

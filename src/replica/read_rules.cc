@@ -1,0 +1,96 @@
+#include "replica/read_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/require.h"
+
+namespace pqs::replica {
+
+const char* read_mode_name(ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kPlain: return "plain";
+    case ReadMode::kDissemination: return "dissemination";
+    case ReadMode::kMasking: return "masking";
+  }
+  return "?";
+}
+
+namespace {
+
+ReadSelection pick_highest_timestamp(const std::vector<ReadReply>& replies,
+                                     const crypto::Verifier* verifier) {
+  ReadSelection out;
+  for (const auto& r : replies) {
+    if (!r.has_value) continue;
+    if (verifier != nullptr && !verifier->verify(r.record)) continue;
+    if (!out.has_value || r.record.timestamp > out.record.timestamp) {
+      out.has_value = true;
+      out.record = r.record;
+      out.vouchers = 1;
+    } else if (out.has_value && r.record == out.record) {
+      ++out.vouchers;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReadSelection select_plain(const std::vector<ReadReply>& replies) {
+  return pick_highest_timestamp(replies, nullptr);
+}
+
+ReadSelection select_dissemination(const std::vector<ReadReply>& replies,
+                                   const crypto::Verifier& verifier) {
+  return pick_highest_timestamp(replies, &verifier);
+}
+
+ReadSelection select_masking(const std::vector<ReadReply>& replies,
+                             std::uint32_t k) {
+  PQS_REQUIRE(k >= 1, "masking threshold");
+  // Group identical records; a record enters V' only with >= k vouchers
+  // (the set C of Definition 5.1's read protocol, step 3).
+  std::map<std::tuple<VariableId, std::int64_t, std::uint64_t, std::uint32_t>,
+           std::uint32_t>
+      votes;
+  for (const auto& r : replies) {
+    if (!r.has_value) continue;
+    // Tags are deliberately ignored: masking handles non-self-verifying
+    // data, so agreement among >= k servers is the only evidence.
+    ++votes[{r.record.variable, r.record.value, r.record.timestamp,
+             r.record.writer}];
+  }
+  ReadSelection out;
+  for (const auto& [key, count] : votes) {
+    if (count < k) continue;
+    const auto& [variable, value, timestamp, writer] = key;
+    if (!out.has_value || timestamp > out.record.timestamp) {
+      out.has_value = true;
+      out.record.variable = variable;
+      out.record.value = value;
+      out.record.timestamp = timestamp;
+      out.record.writer = writer;
+      out.record.tag = 0;
+      out.vouchers = count;
+    }
+  }
+  return out;
+}
+
+ReadSelection select(ReadMode mode, const std::vector<ReadReply>& replies,
+                     const crypto::Verifier* verifier, std::uint32_t k) {
+  switch (mode) {
+    case ReadMode::kPlain:
+      return select_plain(replies);
+    case ReadMode::kDissemination:
+      PQS_REQUIRE(verifier != nullptr, "dissemination reads need a verifier");
+      return select_dissemination(replies, *verifier);
+    case ReadMode::kMasking:
+      return select_masking(replies, k);
+  }
+  return {};
+}
+
+}  // namespace pqs::replica

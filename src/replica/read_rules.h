@@ -1,0 +1,48 @@
+// Read-result selection rules — the client side of the paper's protocols.
+//
+// Given the set V of value-timestamp pairs collected from a read quorum,
+// each rule picks the result exactly as specified:
+//   * plain (Section 3.1):      highest timestamp in V.
+//   * dissemination (Section 4): restrict V to verifiable records (valid
+//     writer MAC), then highest timestamp.
+//   * masking (Section 5):      restrict V to records vouched for by at
+//     least k servers (identical variable/value/timestamp/writer), then
+//     highest timestamp; ⊥ if none qualifies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/mac.h"
+#include "replica/message.h"
+
+namespace pqs::replica {
+
+enum class ReadMode : std::uint8_t {
+  kPlain,
+  kDissemination,
+  kMasking,
+};
+
+const char* read_mode_name(ReadMode mode);
+
+struct ReadSelection {
+  bool has_value = false;     // false = ⊥ (empty V')
+  crypto::SignedRecord record;
+  std::uint32_t vouchers = 0;  // servers that returned the chosen record
+};
+
+ReadSelection select_plain(const std::vector<ReadReply>& replies);
+
+ReadSelection select_dissemination(const std::vector<ReadReply>& replies,
+                                   const crypto::Verifier& verifier);
+
+ReadSelection select_masking(const std::vector<ReadReply>& replies,
+                             std::uint32_t k);
+
+// Dispatches on mode; verifier may be null for kPlain/kMasking.
+ReadSelection select(ReadMode mode, const std::vector<ReadReply>& replies,
+                     const crypto::Verifier* verifier, std::uint32_t k);
+
+}  // namespace pqs::replica

@@ -1,0 +1,171 @@
+#include "replica/server.h"
+
+#include <utility>
+
+#include "util/require.h"
+
+namespace pqs::replica {
+
+Server::Server(std::uint32_t id, FaultMode mode, math::Rng rng,
+               std::shared_ptr<const ColludePlan> collude_plan)
+    : id_(id), mode_(mode), rng_(rng), collude_plan_(std::move(collude_plan)) {
+  if (mode == FaultMode::kCollude) {
+    PQS_REQUIRE(collude_plan_ != nullptr, "colluders need a shared plan");
+  }
+}
+
+std::vector<Outbound> Server::process(std::uint32_t from,
+                                      const Message& message) {
+  if (mode_ == FaultMode::kCrash) return {};
+  if (const auto* w = std::get_if<WriteRequest>(&message)) {
+    return handle_write(from, *w);
+  }
+  if (const auto* r = std::get_if<ReadRequest>(&message)) {
+    return handle_read(from, *r);
+  }
+  if (const auto* g = std::get_if<GossipPush>(&message)) {
+    // Correct servers adopt fresher gossip; faulty ones ignore it. With a
+    // gossip verifier installed, adoption is Byzantine-safe: records whose
+    // writer MAC does not verify are discarded ([MMR99]).
+    if (mode_ == FaultMode::kCorrect) {
+      if (!gossip_verifier_ || gossip_verifier_->verify(g->record)) {
+        adopt(g->record);
+      }
+    }
+    return {};
+  }
+  // WriteAck / ReadReply are client-bound; a server receiving one ignores it.
+  return {};
+}
+
+std::vector<Outbound> Server::handle_write(std::uint32_t from,
+                                           const WriteRequest& w) {
+  switch (mode_) {
+    case FaultMode::kCorrect: {
+      adopt(w.record);
+      ++writes_accepted_;
+      return {{from, WriteAck{w.op, id_}}};
+    }
+    case FaultMode::kSuppress:
+      return {};  // omission: never acknowledges
+    case FaultMode::kStaleReplay:
+    case FaultMode::kForge:
+    case FaultMode::kCollude: {
+      // Pretends to accept (acks) but does not durably adopt; it keeps the
+      // record only in first_store_ so stale replay has something genuine.
+      if (!first_store_.contains(w.record.variable)) {
+        first_store_.emplace(w.record.variable, w.record);
+      }
+      return {{from, WriteAck{w.op, id_}}};
+    }
+    case FaultMode::kCrash:
+      break;
+  }
+  return {};
+}
+
+std::vector<Outbound> Server::handle_read(std::uint32_t from,
+                                          const ReadRequest& r) {
+  ReadReply reply;
+  reply.op = r.op;
+  reply.server = id_;
+  switch (mode_) {
+    case FaultMode::kCorrect: {
+      ++reads_served_;
+      if (const auto* rec = find(r.variable)) {
+        reply.has_value = true;
+        reply.record = *rec;
+      }
+      return {{from, reply}};
+    }
+    case FaultMode::kSuppress:
+      return {};
+    case FaultMode::kStaleReplay: {
+      const auto it = first_store_.find(r.variable);
+      if (it != first_store_.end()) {
+        reply.has_value = true;
+        reply.record = it->second;  // genuine tag, stale timestamp
+      }
+      return {{from, reply}};
+    }
+    case FaultMode::kForge: {
+      reply.has_value = true;
+      reply.record.variable = r.variable;
+      reply.record.value = static_cast<std::int64_t>(rng_.next() >> 1);
+      reply.record.timestamp = (~0ULL >> 8) - rng_.below(1024);
+      reply.record.writer = 0;
+      reply.record.tag = rng_.next();  // cannot compute a valid tag
+      return {{from, reply}};
+    }
+    case FaultMode::kCollude: {
+      reply.has_value = true;
+      reply.record = collude_plan_->forged(r.variable);
+      return {{from, reply}};
+    }
+    case FaultMode::kCrash:
+      break;
+  }
+  return {};
+}
+
+const crypto::SignedRecord* Server::find(VariableId variable) const {
+  const auto it = store_.find(variable);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+bool Server::adopt(const crypto::SignedRecord& record) {
+  first_store_.try_emplace(record.variable, record);
+  auto [it, inserted] = store_.try_emplace(record.variable, record);
+  if (inserted) return true;
+  if (record.timestamp > it->second.timestamp) {
+    it->second = record;
+    return true;
+  }
+  return false;
+}
+
+std::vector<crypto::SignedRecord> Server::snapshot() const {
+  std::vector<crypto::SignedRecord> out;
+  out.reserve(store_.size());
+  for (const auto& [var, rec] : store_) out.push_back(rec);
+  return out;
+}
+
+std::vector<crypto::SignedRecord> Server::gossip_records() {
+  switch (mode_) {
+    case FaultMode::kCorrect:
+      return snapshot();
+    case FaultMode::kStaleReplay: {
+      std::vector<crypto::SignedRecord> out;
+      out.reserve(first_store_.size());
+      for (const auto& [var, rec] : first_store_) out.push_back(rec);
+      return out;
+    }
+    case FaultMode::kForge: {
+      std::vector<crypto::SignedRecord> out;
+      for (const auto& [var, rec] : first_store_) {
+        crypto::SignedRecord fake;
+        fake.variable = var;
+        fake.value = static_cast<std::int64_t>(rng_.next() >> 1);
+        fake.timestamp = (~0ULL >> 8) - rng_.below(1024);
+        fake.writer = 0;
+        fake.tag = rng_.next();
+        out.push_back(fake);
+      }
+      return out;
+    }
+    case FaultMode::kCollude: {
+      std::vector<crypto::SignedRecord> out;
+      for (const auto& [var, rec] : first_store_) {
+        out.push_back(collude_plan_->forged(var));
+      }
+      return out;
+    }
+    case FaultMode::kSuppress:
+    case FaultMode::kCrash:
+      break;
+  }
+  return {};
+}
+
+}  // namespace pqs::replica

@@ -1,0 +1,85 @@
+// A replicated-variable server.
+//
+// Each server stores, per variable, the highest-timestamped record it has
+// accepted, exactly as in the paper's access protocol (Section 3.1): writes
+// install (value, timestamp) pairs, reads return the stored pair. The server
+// is network-agnostic — process() returns the messages to transmit — so the
+// same implementation runs under the discrete-event SimCluster, the direct
+// InstantCluster, and the gossip engine.
+//
+// Fault behaviour is injected via FaultMode (see fault.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "math/rng.h"
+#include "replica/fault.h"
+#include "replica/message.h"
+
+namespace pqs::replica {
+
+struct Outbound {
+  std::uint32_t to = 0;
+  Message message;
+};
+
+class Server {
+ public:
+  Server(std::uint32_t id, FaultMode mode, math::Rng rng,
+         std::shared_ptr<const ColludePlan> collude_plan = nullptr);
+
+  std::uint32_t id() const { return id_; }
+  FaultMode mode() const { return mode_; }
+  void set_mode(FaultMode mode) { mode_ = mode; }
+
+  // Handles one message from `from` (a client or a peer server) and returns
+  // the replies to send. Crashed servers return nothing and change nothing.
+  std::vector<Outbound> process(std::uint32_t from, const Message& message);
+
+  // Current record for a variable (nullptr if none). Test/analysis access;
+  // reflects the server's true state regardless of its advertised lies.
+  const crypto::SignedRecord* find(VariableId variable) const;
+
+  // Gossip-path adoption: installs the record if it is newer than what is
+  // stored. Correct servers only; the gossip engine skips faulty ones.
+  // Returns true if the record was adopted.
+  bool adopt(const crypto::SignedRecord& record);
+
+  // All records currently stored (for anti-entropy exchange).
+  std::vector<crypto::SignedRecord> snapshot() const;
+
+  // What this server pushes during a gossip round — honest state for
+  // correct servers, stale or fabricated records for Byzantine ones,
+  // nothing for crashed/suppressing servers.
+  std::vector<crypto::SignedRecord> gossip_records();
+
+  // When set, gossip adoption verifies the writer MAC first (the
+  // Byzantine-safe diffusion of [MMR99]); client writes are unaffected.
+  void set_gossip_verifier(std::optional<crypto::Verifier> verifier) {
+    gossip_verifier_ = std::move(verifier);
+  }
+
+  std::uint64_t writes_accepted() const { return writes_accepted_; }
+  std::uint64_t reads_served() const { return reads_served_; }
+
+ private:
+  std::vector<Outbound> handle_write(std::uint32_t from, const WriteRequest& w);
+  std::vector<Outbound> handle_read(std::uint32_t from, const ReadRequest& r);
+
+  std::uint32_t id_;
+  FaultMode mode_;
+  math::Rng rng_;
+  std::shared_ptr<const ColludePlan> collude_plan_;
+  std::optional<crypto::Verifier> gossip_verifier_;
+  std::unordered_map<VariableId, crypto::SignedRecord> store_;
+  // First record ever accepted per variable; what kStaleReplay serves.
+  std::unordered_map<VariableId, crypto::SignedRecord> first_store_;
+  std::uint64_t writes_accepted_ = 0;
+  std::uint64_t reads_served_ = 0;
+};
+
+}  // namespace pqs::replica

@@ -1,0 +1,113 @@
+// Simulated point-to-point network.
+//
+// Network<M> delivers messages of type M between numbered nodes through a
+// Simulator, applying a configurable latency model, iid message loss, and
+// explicit partitions. Delivery per (sender, receiver) pair preserves the
+// order implied by the sampled latencies (no FIFO guarantee is imposed —
+// the paper's protocols are timestamp-based and do not need one).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "math/rng.h"
+#include "sim/simulator.h"
+#include "util/require.h"
+
+namespace pqs::sim {
+
+using NodeId = std::uint32_t;
+
+struct LatencyModel {
+  // Fixed propagation floor plus an exponential jitter component.
+  Time base = 100;          // microseconds
+  Time jitter_mean = 50;    // mean of the exponential component; 0 = none
+  double drop_probability = 0.0;
+
+  Time sample(math::Rng& rng) const {
+    Time t = base;
+    if (jitter_mean > 0) {
+      t += static_cast<Time>(rng.exponential(static_cast<double>(jitter_mean)));
+    }
+    return t;
+  }
+};
+
+template <typename M>
+class Network {
+ public:
+  using Handler = std::function<void(NodeId from, const M& message)>;
+
+  Network(Simulator& simulator, LatencyModel latency, math::Rng rng)
+      : simulator_(simulator), latency_(latency), rng_(rng) {}
+
+  // Registers the handler for `node`; node ids must be registered densely
+  // from 0 upward before any send to them.
+  void register_node(NodeId node, Handler handler) {
+    if (handlers_.size() <= node) handlers_.resize(node + 1);
+    handlers_[node] = std::move(handler);
+  }
+
+  std::size_t node_count() const { return handlers_.size(); }
+
+  // Severs connectivity in both directions between the two groups.
+  void partition(std::vector<NodeId> group_a, std::vector<NodeId> group_b) {
+    partitions_.push_back({std::move(group_a), std::move(group_b)});
+  }
+  void heal_partitions() { partitions_.clear(); }
+
+  // Sends `message`; it is dropped silently if the loss model or a
+  // partition says so, otherwise delivered after a sampled latency.
+  void send(NodeId from, NodeId to, M message) {
+    PQS_REQUIRE(to < handlers_.size(), "send to unregistered node");
+    ++sent_;
+    if (severed(from, to) || rng_.chance(latency_.drop_probability)) {
+      ++dropped_;
+      return;
+    }
+    const Time delay = latency_.sample(rng_);
+    simulator_.schedule(delay, [this, from, to, msg = std::move(message)]() {
+      ++delivered_;
+      if (handlers_[to]) handlers_[to](from, msg);
+    });
+  }
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  struct Partition {
+    std::vector<NodeId> a;
+    std::vector<NodeId> b;
+  };
+
+  static bool contains(const std::vector<NodeId>& v, NodeId x) {
+    for (NodeId y : v) {
+      if (y == x) return true;
+    }
+    return false;
+  }
+
+  bool severed(NodeId from, NodeId to) const {
+    for (const auto& p : partitions_) {
+      if ((contains(p.a, from) && contains(p.b, to)) ||
+          (contains(p.b, from) && contains(p.a, to))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Simulator& simulator_;
+  LatencyModel latency_;
+  math::Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<Partition> partitions_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pqs::sim

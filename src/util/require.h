@@ -1,0 +1,36 @@
+// Precondition checking used across the library.
+//
+// PQS_REQUIRE is for caller-visible API contract violations (invalid
+// parameters); it throws std::invalid_argument so misuse is testable.
+// PQS_CHECK is for internal invariants; it throws std::logic_error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pqs::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& what) {
+  throw std::invalid_argument(std::string("requirement failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (what.empty() ? "" : (": " + what)));
+}
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace pqs::util
+
+#define PQS_REQUIRE(expr, what)                                     \
+  do {                                                              \
+    if (!(expr)) ::pqs::util::require_failed(#expr, __FILE__, __LINE__, (what)); \
+  } while (false)
+
+#define PQS_CHECK(expr)                                             \
+  do {                                                              \
+    if (!(expr)) ::pqs::util::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,125 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace pqs::util {
+
+std::string fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string_view text) {
+  rows_.back().emplace_back(text);
+  return *this;
+}
+
+TextTable& TextTable::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(unsigned long long value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(long value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(int value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(fixed(value, precision));
+}
+
+TextTable& TextTable::cell_sci(double value, int precision) {
+  return cell(sci(value, precision));
+}
+
+std::string TextTable::render(int indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "| " : " ");
+      os << s << std::string(widths[c] - s.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  os << pad;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os, int indent) const {
+  os << render(indent);
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : columns_(header.size()) {
+  row(header);
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ += ',';
+    out_ += escape(cells[c]);
+  }
+  out_ += '\n';
+  return *this;
+}
+
+std::string CsvWriter::str() const { return out_; }
+
+void banner(std::ostream& os, std::string_view title) {
+  os << "\n==== " << title << " ====\n\n";
+}
+
+}  // namespace pqs::util

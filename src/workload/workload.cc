@@ -1,0 +1,84 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/require.h"
+
+namespace pqs::workload {
+
+ZipfianKeys::ZipfianKeys(std::uint64_t keys, double exponent)
+    : exponent_(exponent) {
+  PQS_REQUIRE(keys >= 1, "zipfian needs keys");
+  PQS_REQUIRE(exponent >= 0.0, "zipfian exponent");
+  cdf_.resize(keys);
+  double total = 0.0;
+  for (std::uint64_t r = 1; r <= keys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r), exponent);
+    cdf_[r - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::uint64_t ZipfianKeys::sample(math::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfianKeys::probability(std::uint64_t key) const {
+  PQS_REQUIRE(key >= 1 && key <= cdf_.size(), "key out of range");
+  const double hi = cdf_[key - 1];
+  const double lo = key >= 2 ? cdf_[key - 2] : 0.0;
+  return hi - lo;
+}
+
+double WorkloadReport::measured_load() const {
+  if (server_accesses.empty()) return 0.0;
+  std::uint64_t ops = reads + writes;
+  if (ops == 0) return 0.0;
+  const auto max_hits =
+      *std::max_element(server_accesses.begin(), server_accesses.end());
+  return static_cast<double>(max_hits) / static_cast<double>(ops);
+}
+
+WorkloadReport run_workload(replica::InstantCluster& cluster,
+                            const WorkloadSpec& spec, math::Rng& rng) {
+  PQS_REQUIRE(spec.operations >= 1, "workload needs operations");
+  PQS_REQUIRE(spec.read_fraction >= 0.0 && spec.read_fraction <= 1.0,
+              "read fraction");
+  const ZipfianKeys keys(spec.keys, spec.zipf_exponent);
+  WorkloadReport report;
+  report.server_accesses.assign(cluster.universe_size(), 0);
+  std::unordered_map<std::uint64_t, std::int64_t> last_written;
+  std::int64_t next_value = 0;
+
+  for (std::uint64_t op = 0; op < spec.operations; ++op) {
+    const std::uint64_t key = keys.sample(rng);
+    if (rng.chance(spec.read_fraction)) {
+      ++report.reads;
+      const auto r = cluster.read(key);
+      for (auto u : r.quorum) ++report.server_accesses[u];
+      const auto expected = last_written.find(key);
+      if (expected == last_written.end()) {
+        // Never written: any answer counts as empty/unknown.
+        ++report.empty_reads;
+      } else if (!r.selection.has_value) {
+        ++report.empty_reads;
+        ++report.stale_reads;
+      } else if (r.selection.record.value != expected->second) {
+        ++report.stale_reads;
+      }
+    } else {
+      ++report.writes;
+      const auto w = cluster.write(key, ++next_value);
+      for (auto u : w.quorum) ++report.server_accesses[u];
+      last_written[key] = next_value;
+    }
+  }
+  return report;
+}
+
+}  // namespace pqs::workload

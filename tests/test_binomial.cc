@@ -1,0 +1,102 @@
+#include "math/binomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/combinatorics.h"
+
+namespace pqs::math {
+namespace {
+
+TEST(BinomialPmf, SumsToOne) {
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    for (std::int64_t n : {1, 5, 17, 64}) {
+      double total = 0.0;
+      for (std::int64_t k = 0; k <= n; ++k) total += binomial_pmf(n, p, k);
+      EXPECT_NEAR(total, 1.0, 1e-10) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 9), 0.0);
+}
+
+TEST(BinomialPmf, MatchesClosedFormSmall) {
+  // n=4, p=0.3: pmf(2) = C(4,2) 0.09 * 0.49 = 6*0.0441 = 0.2646
+  EXPECT_NEAR(binomial_pmf(4, 0.3, 2), 0.2646, 1e-12);
+}
+
+TEST(BinomialPmf, OutOfSupport) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 0.3, -1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 0.3, 5), 0.0);
+}
+
+TEST(BinomialTail, ComplementIdentity) {
+  for (std::int64_t n : {7, 20, 33}) {
+    for (double p : {0.2, 0.5, 0.77}) {
+      for (std::int64_t k = 0; k <= n + 1; ++k) {
+        const double upper = binomial_upper_tail(n, p, k);
+        const double lower = binomial_lower_tail(n, p, k - 1);
+        EXPECT_NEAR(upper + lower, 1.0, 1e-10)
+            << "n=" << n << " p=" << p << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(BinomialTail, Extremes) {
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.4, -3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.4, 11), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_lower_tail(10, 0.4, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_lower_tail(10, 0.4, -1), 0.0);
+}
+
+TEST(BinomialTail, MonotoneInK) {
+  for (std::int64_t k = 0; k <= 30; ++k) {
+    EXPECT_GE(binomial_upper_tail(30, 0.5, k),
+              binomial_upper_tail(30, 0.5, k + 1));
+  }
+}
+
+TEST(BinomialTail, MonotoneInP) {
+  // P(Bin >= k) grows with p.
+  double prev = 0.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double cur = binomial_upper_tail(40, p, 25);
+    EXPECT_GE(cur + 1e-12, prev);
+    prev = cur;
+  }
+}
+
+TEST(BinomialTail, TinyTailAccuracy) {
+  // P(Bin(100, 0.01) >= 50) is astronomically small but must be positive
+  // and far below 1e-30; a naive 1-sum implementation would return 0 or
+  // negative noise.
+  const double t = binomial_upper_tail(100, 0.01, 50);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1e-50);
+}
+
+TEST(BinomialTail, MatchesBruteForce) {
+  const std::int64_t n = 23;
+  const double p = 0.37;
+  for (std::int64_t k = 0; k <= n; ++k) {
+    double expected = 0.0;
+    for (std::int64_t i = k; i <= n; ++i) expected += binomial_pmf(n, p, i);
+    EXPECT_NEAR(binomial_upper_tail(n, p, k), expected, 1e-10);
+  }
+}
+
+TEST(BinomialMoments, Formulas) {
+  EXPECT_DOUBLE_EQ(binomial_mean(40, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(binomial_variance(40, 0.25), 7.5);
+}
+
+}  // namespace
+}  // namespace pqs::math

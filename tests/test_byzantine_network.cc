@@ -1,0 +1,160 @@
+// End-to-end Byzantine scenarios over the *simulated network* (not the
+// instant harness): message latency, jitter, loss and partitions composed
+// with Byzantine server behaviours — the full deployment the paper's
+// protocols are meant for.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "math/stats.h"
+#include "quorum/threshold.h"
+#include "replica/instant_cluster.h"
+#include "replica/sim_cluster.h"
+
+namespace pqs::replica {
+namespace {
+
+SimCluster::Config byz_config(std::uint32_t n, std::uint32_t q,
+                              std::uint32_t b, ReadMode mode,
+                              std::uint64_t seed) {
+  SimCluster::Config cfg;
+  cfg.quorums = std::make_shared<core::RandomSubsetSystem>(
+      core::RandomSubsetSystem::with_byzantine(
+          n, q, b,
+          mode == ReadMode::kMasking ? core::Regime::kMasking
+                                     : core::Regime::kDissemination));
+  cfg.mode = mode;
+  if (mode == ReadMode::kMasking) {
+    cfg.read_threshold =
+        static_cast<std::uint32_t>(core::masking_threshold(n, q));
+  }
+  cfg.latency = {.base = 100, .jitter_mean = 100, .drop_probability = 0.0};
+  cfg.client_timeout = 20000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ByzantineNetwork, DisseminationNeverAcceptsForgeriesOverNetwork) {
+  const std::uint32_t n = 30, q = 12, b = 9;
+  SimCluster cluster(byz_config(n, q, b, ReadMode::kDissemination, 1),
+                     FaultPlan::prefix(n, b, FaultMode::kForge));
+  std::int64_t value = 0;
+  for (int i = 0; i < 150; ++i) {
+    cluster.write_sync(1, ++value);
+    const auto r = cluster.read_sync(1);
+    if (r.selection.has_value) {
+      // Never a fabricated record: values must be ones we wrote, with
+      // plausible timestamps.
+      ASSERT_LE(r.selection.record.value, value);
+      ASSERT_GE(r.selection.record.value, 1);
+      ASSERT_LT(r.selection.record.timestamp, 1ull << 40);
+    }
+  }
+}
+
+TEST(ByzantineNetwork, SuppressorsForceTimeoutsButNotWrongAnswers) {
+  const std::uint32_t n = 30, q = 12, b = 9;
+  SimCluster cluster(byz_config(n, q, b, ReadMode::kDissemination, 2),
+                     FaultPlan::prefix(n, b, FaultMode::kSuppress));
+  int incomplete = 0;
+  std::int64_t value = 0;
+  for (int i = 0; i < 100; ++i) {
+    cluster.write_sync(1, ++value);
+    const auto r = cluster.read_sync(1);
+    if (!r.complete) ++incomplete;  // quorum had a suppressor: timeout path
+    if (r.selection.has_value) {
+      ASSERT_LE(r.selection.record.value, value);
+    }
+  }
+  // Most quorums (size 12 of 30 with 9 suppressors) contain a suppressor:
+  // P(none) = C(21,12)/C(30,12) ~ 0.003, so timeouts dominate.
+  EXPECT_GT(incomplete, 80);
+}
+
+TEST(ByzantineNetwork, MaskingBlocksColludersBelowThreshold) {
+  const std::uint32_t n = 25, q = 15, b = 3;  // k = ceil(225/50) = 5 > b
+  SimCluster cluster(byz_config(n, q, b, ReadMode::kMasking, 3),
+                     FaultPlan::prefix(n, b, FaultMode::kCollude));
+  std::int64_t value = 0;
+  for (int i = 0; i < 150; ++i) {
+    cluster.write_sync(1, ++value);
+    const auto r = cluster.read_sync(1);
+    // b < k: the colluders can never assemble k matching forged replies.
+    if (r.selection.has_value) {
+      ASSERT_GE(r.selection.record.value, 0) << "forged value accepted";
+      ASSERT_LE(r.selection.record.value, value);
+    }
+  }
+}
+
+TEST(ByzantineNetwork, LossAndByzantineFaultsCompose) {
+  const std::uint32_t n = 30, q = 14, b = 6;
+  auto cfg = byz_config(n, q, b, ReadMode::kDissemination, 4);
+  cfg.latency.drop_probability = 0.15;
+  SimCluster cluster(cfg, FaultPlan::prefix(n, b, FaultMode::kStaleReplay));
+  int fresh = 0;
+  std::int64_t value = 0;
+  constexpr int kOps = 120;
+  for (int i = 0; i < kOps; ++i) {
+    cluster.write_sync(1, ++value);
+    const auto r = cluster.read_sync(1);
+    if (r.selection.has_value && r.selection.record.value == value) ++fresh;
+  }
+  // Loss + stale replayers degrade freshness but the majority of reads
+  // still return the latest value, and nothing fabricated ever appears.
+  EXPECT_GT(fresh, kOps / 2);
+}
+
+TEST(ByzantineNetwork, PartitionHealsAndServiceRecovers) {
+  SimCluster::Config cfg;
+  cfg.quorums = std::make_shared<quorum::ThresholdSystem>(
+      quorum::ThresholdSystem::majority(9));
+  cfg.latency = {.base = 100, .jitter_mean = 0, .drop_probability = 0.0};
+  cfg.client_timeout = 5000;
+  cfg.seed = 5;
+  SimCluster cluster(cfg);
+  const sim::NodeId client = 9;
+  cluster.network().partition({0, 1, 2, 3, 4}, {client});
+  const auto during = cluster.write_sync(1, 11);
+  EXPECT_FALSE(during.complete);
+  cluster.network().heal_partitions();
+  const auto after = cluster.write_sync(1, 12);
+  EXPECT_TRUE(after.complete);
+  const auto read = cluster.read_sync(1);
+  ASSERT_TRUE(read.selection.has_value);
+  EXPECT_EQ(read.selection.record.value, 12);
+}
+
+TEST(ByzantineNetwork, AmplifiedReadsSquareTheEpsilon) {
+  // Reading twice through independent quorums and keeping the higher
+  // timestamp drives staleness from eps toward eps^2 — probability
+  // amplification, the cheap consistency knob probabilistic quorums offer.
+  const std::uint32_t n = 64, q = 12;
+  InstantCluster::Config cfg;
+  cfg.quorums = std::make_shared<core::RandomSubsetSystem>(n, q);
+  cfg.seed = 6;
+  InstantCluster cluster(cfg);
+  const double eps = core::nonintersection_exact(n, q);
+  math::Proportion single_stale;
+  math::Proportion double_stale;
+  std::int64_t value = 0;
+  for (int i = 0; i < 60000; ++i) {
+    cluster.write(1, ++value);
+    const auto r1 = cluster.read(1);
+    const auto r2 = cluster.read(1);
+    const bool fresh1 =
+        r1.selection.has_value && r1.selection.record.value == value;
+    const bool fresh2 =
+        r2.selection.has_value && r2.selection.record.value == value;
+    single_stale.add(!fresh1);
+    double_stale.add(!fresh1 && !fresh2);
+  }
+  EXPECT_TRUE(single_stale.wilson(4.4).contains(eps));
+  EXPECT_TRUE(double_stale.wilson(4.4).contains(eps * eps))
+      << double_stale.estimate() << " vs " << eps * eps;
+}
+
+}  // namespace
+}  // namespace pqs::replica

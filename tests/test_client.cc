@@ -1,0 +1,244 @@
+// Unit tests for the asynchronous client against *scripted* servers: late
+// acknowledgements, duplicated replies, partial responses, timeout races —
+// the message-level edge cases the integration tests only hit by chance.
+#include <memory>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "core/random_subset_system.h"
+#include "crypto/mac.h"
+#include "quorum/threshold.h"
+#include "replica/client.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pqs::replica {
+namespace {
+
+// A harness wiring one Client to n scripted server nodes whose behaviour
+// each test chooses per message.
+class Harness {
+ public:
+  using Script = std::function<void(sim::NodeId server, sim::NodeId from,
+                                    const Message&)>;
+
+  explicit Harness(std::uint32_t n, sim::Time timeout = 10000)
+      : network_(simulator_, sim::LatencyModel{.base = 10, .jitter_mean = 0},
+                 math::Rng(7)) {
+    Client::Config cfg;
+    cfg.quorums = std::make_shared<quorum::ThresholdSystem>(
+        quorum::ThresholdSystem::majority(n));
+    cfg.timeout = timeout;
+    cfg.writer_key = crypto::Signer::from_seed(1).key();
+    client_ = std::make_unique<Client>(n, cfg, simulator_, network_,
+                                       math::Rng(11));
+    for (sim::NodeId s = 0; s < n; ++s) {
+      network_.register_node(s, [this, s](sim::NodeId from, const Message& m) {
+        if (script_) script_(s, from, m);
+      });
+    }
+    network_.register_node(n, [this](sim::NodeId from, const Message& m) {
+      client_->on_message(from, m);
+    });
+  }
+
+  void set_script(Script script) { script_ = std::move(script); }
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Network<Message>& network() { return network_; }
+  Client& client() { return *client_; }
+
+  // Default honest behaviours the scripts can delegate to.
+  void ack_write(sim::NodeId server, sim::NodeId from, const WriteRequest& w) {
+    network_.send(server, from, WriteAck{w.op, server});
+  }
+
+ private:
+  sim::Simulator simulator_;
+  sim::Network<Message> network_;
+  std::unique_ptr<Client> client_;
+  Script script_;
+};
+
+TEST(Client, WriteCompletesWhenAllAck) {
+  Harness h(5);
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (const auto* w = std::get_if<WriteRequest>(&m)) h.ack_write(s, from, *w);
+  });
+  std::optional<WriteOutcome> outcome;
+  h.client().write(1, 42, [&](const WriteOutcome& o) { outcome = o; });
+  h.simulator().run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->complete);
+  EXPECT_EQ(outcome->acks, outcome->quorum.size());
+}
+
+TEST(Client, DuplicateAcksCountOnce) {
+  Harness h(5);
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (const auto* w = std::get_if<WriteRequest>(&m)) {
+      h.ack_write(s, from, *w);
+      h.ack_write(s, from, *w);  // duplicate delivery
+      h.ack_write(s, from, *w);
+    }
+  });
+  std::optional<WriteOutcome> outcome;
+  h.client().write(1, 42, [&](const WriteOutcome& o) { outcome = o; });
+  h.simulator().run();
+  ASSERT_TRUE(outcome.has_value());
+  // The client deduplicates by server id, so triple delivery still yields
+  // exactly quorum-size distinct acks and an honest completion.
+  EXPECT_TRUE(outcome->complete);
+  EXPECT_EQ(outcome->acks, outcome->quorum.size());
+}
+
+TEST(Client, RogueAcksFromStrangersAreIgnored) {
+  Harness h(5, /*timeout=*/2000);
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (const auto* w = std::get_if<WriteRequest>(&m)) {
+      // Every contacted server stays silent but forwards a forged ack
+      // claiming to be server 99 (not in any quorum).
+      h.network().send(s, from, WriteAck{w->op, 99});
+    }
+  });
+  std::optional<WriteOutcome> outcome;
+  h.client().write(1, 1, [&](const WriteOutcome& o) { outcome = o; });
+  h.simulator().run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->complete);
+  EXPECT_EQ(outcome->acks, 0u);
+}
+
+TEST(Client, SilentMinorityForcesTimeoutWithPartialAcks) {
+  Harness h(5, /*timeout=*/5000);
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (s == 0) return;  // server 0 never answers
+    if (const auto* w = std::get_if<WriteRequest>(&m)) h.ack_write(s, from, *w);
+  });
+  // Run many writes; quorums containing server 0 must time out with
+  // exactly quorum-1 acks.
+  for (int i = 0; i < 20; ++i) {
+    std::optional<WriteOutcome> outcome;
+    h.client().write(1, i, [&](const WriteOutcome& o) { outcome = o; });
+    h.simulator().run();
+    ASSERT_TRUE(outcome.has_value());
+    const bool has_zero =
+        std::find(outcome->quorum.begin(), outcome->quorum.end(), 0u) !=
+        outcome->quorum.end();
+    if (has_zero) {
+      EXPECT_FALSE(outcome->complete);
+      EXPECT_EQ(outcome->acks, outcome->quorum.size() - 1);
+    } else {
+      EXPECT_TRUE(outcome->complete);
+    }
+  }
+}
+
+TEST(Client, LateRepliesAfterTimeoutAreIgnored) {
+  Harness h(5, /*timeout=*/100);
+  int served = 0;
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (const auto* r = std::get_if<ReadRequest>(&m)) {
+      ++served;
+      // Reply far after the client's 100us timeout.
+      h.simulator().schedule(10000, [&h, s, from, op = r->op] {
+        ReadReply reply;
+        reply.op = op;
+        reply.server = static_cast<std::uint32_t>(s);
+        reply.has_value = false;
+        h.network().send(s, from, reply);
+      });
+    }
+  });
+  std::optional<ReadOutcome> outcome;
+  int callbacks = 0;
+  h.client().read(1, [&](const ReadOutcome& o) {
+    outcome = o;
+    ++callbacks;
+  });
+  h.simulator().run();  // drains timeout AND the late replies
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(callbacks, 1);  // late replies must not re-fire completion
+  EXPECT_FALSE(outcome->complete);
+  EXPECT_EQ(outcome->replies, 0u);
+  EXPECT_GT(served, 0);
+}
+
+TEST(Client, ReadAssemblesRepliesAndSelects) {
+  Harness h(5);
+  const auto signer = crypto::Signer::from_seed(1);
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (const auto* r = std::get_if<ReadRequest>(&m)) {
+      ReadReply reply;
+      reply.op = r->op;
+      reply.server = static_cast<std::uint32_t>(s);
+      reply.has_value = true;
+      // Server id doubles as timestamp: highest id wins.
+      reply.record = signer.sign(r->variable, 100 + static_cast<int>(s),
+                                 1000 + s, 1);
+      h.network().send(s, from, reply);
+    }
+  });
+  std::optional<ReadOutcome> outcome;
+  h.client().read(1, [&](const ReadOutcome& o) { outcome = o; });
+  h.simulator().run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->complete);
+  ASSERT_TRUE(outcome->selection.has_value);
+  const auto top =
+      *std::max_element(outcome->quorum.begin(), outcome->quorum.end());
+  EXPECT_EQ(outcome->selection.record.value, 100 + static_cast<int>(top));
+}
+
+TEST(Client, ConcurrentOperationsDoNotInterfere) {
+  Harness h(5);
+  const auto signer = crypto::Signer::from_seed(1);
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (const auto* w = std::get_if<WriteRequest>(&m)) {
+      h.ack_write(s, from, *w);
+    } else if (const auto* r = std::get_if<ReadRequest>(&m)) {
+      ReadReply reply;
+      reply.op = r->op;
+      reply.server = static_cast<std::uint32_t>(s);
+      reply.has_value = true;
+      reply.record = signer.sign(r->variable, 7, 1, 1);
+      h.network().send(s, from, reply);
+    }
+  });
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    h.client().write(1, i, [&](const WriteOutcome& o) {
+      EXPECT_TRUE(o.complete);
+      ++done;
+    });
+    h.client().read(1, [&](const ReadOutcome& o) {
+      EXPECT_TRUE(o.complete);
+      ++done;
+    });
+  }
+  h.simulator().run();
+  EXPECT_EQ(done, 20);
+}
+
+TEST(Client, TimestampsIncreaseAcrossWrites) {
+  Harness h(5);
+  std::vector<std::uint64_t> stamps;
+  h.set_script([&](sim::NodeId s, sim::NodeId from, const Message& m) {
+    if (const auto* w = std::get_if<WriteRequest>(&m)) {
+      if (s == 1) stamps.push_back(w->record.timestamp);
+      h.ack_write(s, from, *w);
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    h.client().write(1, i, [](const WriteOutcome&) {});
+    h.simulator().run();
+  }
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_GT(stamps[i], stamps[i - 1]);
+  }
+  EXPECT_GE(stamps.size(), 5u);  // server 1 is in most majority quorums
+}
+
+}  // namespace
+}  // namespace pqs::replica

@@ -1,0 +1,113 @@
+#include "math/combinatorics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pqs::math {
+namespace {
+
+TEST(LogFactorial, BaseCases) {
+  EXPECT_DOUBLE_EQ(log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log_factorial(1), 0.0);
+  EXPECT_NEAR(log_factorial(2), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-10);
+}
+
+TEST(LogFactorial, RejectsNegative) {
+  EXPECT_THROW(log_factorial(-1), std::invalid_argument);
+}
+
+TEST(LogChoose, MatchesExactSmall) {
+  for (std::int64_t n = 0; n <= 30; ++n) {
+    for (std::int64_t k = 0; k <= n; ++k) {
+      const double expected = std::log(static_cast<double>(choose_exact(n, k)));
+      EXPECT_NEAR(log_choose(n, k), expected, 1e-9)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LogChoose, OutOfRangeIsNegInf) {
+  EXPECT_EQ(log_choose(5, -1), kNegInf);
+  EXPECT_EQ(log_choose(5, 6), kNegInf);
+  EXPECT_EQ(log_choose(-2, 0), kNegInf);
+}
+
+TEST(LogChoose, Symmetry) {
+  for (std::int64_t n = 1; n <= 200; n += 13) {
+    for (std::int64_t k = 0; k <= n; k += 7) {
+      EXPECT_NEAR(log_choose(n, k), log_choose(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(LogChoose, PascalIdentity) {
+  // C(n, k) = C(n-1, k-1) + C(n-1, k) in log space.
+  for (std::int64_t n = 2; n <= 120; n += 11) {
+    for (std::int64_t k = 1; k < n; k += 5) {
+      const double lhs = log_choose(n, k);
+      const double rhs = log_add(log_choose(n - 1, k - 1), log_choose(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, 1e-9) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ChooseExact, KnownValues) {
+  EXPECT_EQ(choose_exact(0, 0), 1u);
+  EXPECT_EQ(choose_exact(5, 2), 10u);
+  EXPECT_EQ(choose_exact(25, 9), 2042975u);
+  EXPECT_EQ(choose_exact(52, 5), 2598960u);
+  EXPECT_EQ(choose_exact(10, 11), 0u);
+}
+
+TEST(ChooseExact, OverflowThrows) {
+  EXPECT_THROW(choose_exact(200, 100), std::overflow_error);
+}
+
+TEST(LogAdd, Basics) {
+  EXPECT_NEAR(log_add(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_EQ(log_add(kNegInf, kNegInf), kNegInf);
+  EXPECT_DOUBLE_EQ(log_add(kNegInf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_add(-0.5, kNegInf), -0.5);
+}
+
+TEST(LogAdd, ExtremeMagnitudeDifference) {
+  // Adding something 1000 e-folds smaller must not change the larger term.
+  EXPECT_DOUBLE_EQ(log_add(0.0, -1000.0), 0.0);
+}
+
+TEST(LogSum, MatchesDirectSummation) {
+  const std::vector<double> logs = {std::log(0.1), std::log(0.25),
+                                    std::log(0.3), std::log(0.05)};
+  EXPECT_NEAR(log_sum(logs), std::log(0.7), 1e-12);
+}
+
+TEST(LogSum, EmptyIsNegInf) {
+  EXPECT_EQ(log_sum(std::vector<double>{}), kNegInf);
+}
+
+TEST(LogSum, AllNegInf) {
+  const std::vector<double> logs = {kNegInf, kNegInf};
+  EXPECT_EQ(log_sum(logs), kNegInf);
+}
+
+TEST(ExpProbability, ClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(exp_probability(kNegInf), 0.0);
+  EXPECT_DOUBLE_EQ(exp_probability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exp_probability(1e-15), 1.0);  // rounding noise above 0
+  EXPECT_NEAR(exp_probability(std::log(0.5)), 0.5, 1e-12);
+}
+
+TEST(LogChoose, LargeValuesFinite) {
+  // C(900, 450) overflows double massively; log form must stay finite.
+  const double v = log_choose(900, 450);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 600.0);  // ~ 900 ln 2 - O(log n)
+  EXPECT_LT(v, 624.0);  // strictly below 900 ln 2
+}
+
+}  // namespace
+}  // namespace pqs::math

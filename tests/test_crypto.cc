@@ -1,0 +1,117 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/mac.h"
+#include "crypto/siphash.h"
+
+namespace pqs::crypto {
+namespace {
+
+// Official SipHash-2-4 test vectors from the reference implementation
+// (Aumasson & Bernstein): key = 00 01 02 ... 0f, messages 00 01 02 ... of
+// increasing length; expected 64-bit outputs.
+Key128 reference_key() {
+  Key128 k;
+  for (std::uint8_t i = 0; i < 16; ++i) k[i] = i;
+  return k;
+}
+
+// First 16 vectors of vectors_sip64 in the reference repository.
+constexpr std::uint64_t kExpected[] = {
+    0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+    0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+    0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+    0x9e0082df0ba9e4b0ULL, 0x7a5dbbc594ddb9f3ULL, 0xf4b32f46226bada7ULL,
+    0x751e8fbc860ee5fbULL, 0x14ea5627c0843d90ULL, 0xf723ca908e7af2eeULL,
+    0xa129ca6149be45e5ULL,
+};
+
+TEST(SipHash, ReferenceVectors) {
+  const Key128 key = reference_key();
+  std::vector<std::uint8_t> message;
+  for (std::size_t len = 0; len < std::size(kExpected); ++len) {
+    EXPECT_EQ(siphash24(key, message.data(), message.size()), kExpected[len])
+        << "message length " << len;
+    message.push_back(static_cast<std::uint8_t>(len));
+  }
+}
+
+TEST(SipHash, KeySensitivity) {
+  Key128 k1 = reference_key();
+  Key128 k2 = reference_key();
+  k2[0] ^= 1;
+  const char msg[] = "probabilistic quorum systems";
+  EXPECT_NE(siphash24(k1, msg, sizeof(msg)), siphash24(k2, msg, sizeof(msg)));
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const Key128 key = reference_key();
+  std::uint8_t a[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::uint8_t b[9] = {1, 2, 3, 4, 5, 6, 7, 8, 10};
+  EXPECT_NE(siphash24(key, a, sizeof(a)), siphash24(key, b, sizeof(b)));
+}
+
+TEST(SipHash, LengthMattersEvenWithZeroPadding) {
+  const Key128 key = reference_key();
+  std::uint8_t zeros[16] = {};
+  EXPECT_NE(siphash24(key, zeros, 8), siphash24(key, zeros, 9));
+}
+
+TEST(Mac, SignVerifyRoundTrip) {
+  const auto signer = Signer::from_seed(123);
+  const Verifier verifier(signer.key());
+  const auto record = signer.sign(7, -42, 1001, 3);
+  EXPECT_EQ(record.variable, 7u);
+  EXPECT_EQ(record.value, -42);
+  EXPECT_EQ(record.timestamp, 1001u);
+  EXPECT_EQ(record.writer, 3u);
+  EXPECT_TRUE(verifier.verify(record));
+}
+
+TEST(Mac, TamperedFieldsFailVerification) {
+  const auto signer = Signer::from_seed(123);
+  const Verifier verifier(signer.key());
+  const auto good = signer.sign(7, -42, 1001, 3);
+
+  auto tampered = good;
+  tampered.value += 1;
+  EXPECT_FALSE(verifier.verify(tampered));
+
+  tampered = good;
+  tampered.timestamp += 1;  // replay with boosted freshness
+  EXPECT_FALSE(verifier.verify(tampered));
+
+  tampered = good;
+  tampered.variable ^= 1;  // cross-variable splice
+  EXPECT_FALSE(verifier.verify(tampered));
+
+  tampered = good;
+  tampered.writer = 9;
+  EXPECT_FALSE(verifier.verify(tampered));
+
+  tampered = good;
+  tampered.tag ^= 0x1;
+  EXPECT_FALSE(verifier.verify(tampered));
+}
+
+TEST(Mac, WrongKeyFails) {
+  const auto signer = Signer::from_seed(1);
+  const auto other = Signer::from_seed(2);
+  const Verifier wrong(other.key());
+  EXPECT_FALSE(wrong.verify(signer.sign(1, 2, 3, 4)));
+}
+
+TEST(Mac, DistinctSeedsDistinctKeys) {
+  EXPECT_NE(Signer::from_seed(10).key(), Signer::from_seed(11).key());
+}
+
+TEST(Mac, DeterministicSigning) {
+  const auto s1 = Signer::from_seed(5);
+  const auto s2 = Signer::from_seed(5);
+  EXPECT_EQ(s1.sign(1, 2, 3, 4).tag, s2.sign(1, 2, 3, 4).tag);
+}
+
+}  // namespace
+}  // namespace pqs::crypto

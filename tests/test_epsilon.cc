@@ -1,0 +1,378 @@
+// Tests for the exact epsilon computations and the paper's bounds — the
+// analytical heart of the reproduction.
+#include "core/epsilon.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "math/combinatorics.h"
+#include "quorum/set_system.h"
+
+namespace pqs::core {
+namespace {
+
+// ---- Exact nonintersection ------------------------------------------------
+
+TEST(NonintersectionExact, HandValues) {
+  // C(16,9)/C(25,9) = 11440 / 2042975.
+  EXPECT_NEAR(nonintersection_exact(25, 9), 11440.0 / 2042975.0, 1e-12);
+  // Overlap forced when 2q > n.
+  EXPECT_DOUBLE_EQ(nonintersection_exact(10, 6), 0.0);
+  EXPECT_NEAR(nonintersection_exact(10, 5), 1.0 / 252.0, 1e-12);
+}
+
+TEST(NonintersectionExact, MatchesExplicitEnumeration) {
+  // Direct pairwise enumeration over all quorums of the explicit R(n, q).
+  for (auto [n, q] : {std::tuple{6, 2}, std::tuple{8, 3}, std::tuple{10, 4},
+                      std::tuple{9, 3}}) {
+    const auto sys = quorum::SetSystem::all_subsets(n, q);
+    const double enumerated = 1.0 - sys.intersection_probability();
+    EXPECT_NEAR(nonintersection_exact(n, q), enumerated, 1e-10)
+        << "n=" << n << " q=" << q;
+  }
+}
+
+TEST(NonintersectionExact, MonotoneDecreasingInQ) {
+  for (std::int64_t q = 1; q < 50; ++q) {
+    EXPECT_GE(nonintersection_exact(100, q),
+              nonintersection_exact(100, q + 1));
+  }
+}
+
+TEST(NonintersectionBound, DominatesExact) {
+  // Lemma 3.15: exact < e^{-l^2}, for every n, q.
+  for (std::int64_t n : {25, 100, 225, 400, 900}) {
+    for (std::int64_t q = 1; q <= n / 2; q += 3) {
+      EXPECT_LT(nonintersection_exact(n, q), nonintersection_bound(n, q))
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(NonintersectionBound, TightensAsNGrows) {
+  // At fixed l = 2, bound / exact approaches a modest constant; sanity-check
+  // that the bound is not wildly loose at large n.
+  const double exact = nonintersection_exact(10000, 200);
+  const double bound = nonintersection_bound(10000, 200);
+  EXPECT_LT(bound / exact, 10.0);
+  EXPECT_GT(bound / exact, 1.0);
+}
+
+// ---- Dissemination epsilon -------------------------------------------------
+
+TEST(DisseminationExact, ReducesToNonintersectionAtBZero) {
+  for (auto [n, q] : {std::tuple{25, 9}, std::tuple{100, 22},
+                      std::tuple{50, 10}}) {
+    EXPECT_NEAR(dissemination_epsilon_exact(n, q, 0),
+                nonintersection_exact(n, q), 1e-12);
+  }
+}
+
+TEST(DisseminationExact, HandComputedValue) {
+  // Worked in the reproduction notes: n=25, q=11, b=2 gives ~3.62e-4 and
+  // q=10 gives ~2.44e-3 — this is what pins Table 3's l=2.20 for n=25.
+  EXPECT_NEAR(dissemination_epsilon_exact(25, 11, 2), 3.62e-4, 2e-5);
+  EXPECT_NEAR(dissemination_epsilon_exact(25, 10, 2), 2.44e-3, 5e-5);
+}
+
+TEST(DisseminationExact, MatchesExplicitEnumeration) {
+  // Brute force over an explicit tiny system: P(Q ∩ Q' ⊆ B), B = {0..b-1}.
+  const std::int64_t n = 8, q = 3, b = 2;
+  const auto sys = quorum::SetSystem::all_subsets(n, q);
+  double fail = 0.0;
+  const auto& quorums = sys.quorums();
+  const double w = 1.0 / static_cast<double>(quorums.size());
+  for (const auto& a : quorums) {
+    for (const auto& bq : quorums) {
+      bool outside = false;
+      for (auto u : a) {
+        for (auto v : bq) {
+          if (u == v && u >= b) outside = true;
+        }
+      }
+      if (!outside) fail += w * w;
+    }
+  }
+  EXPECT_NEAR(dissemination_epsilon_exact(n, q, b), fail, 1e-10);
+}
+
+TEST(DisseminationExact, MonotoneIncreasingInB) {
+  for (std::int64_t b = 0; b < 40; ++b) {
+    EXPECT_LE(dissemination_epsilon_exact(100, 22, b),
+              dissemination_epsilon_exact(100, 22, b + 1) + 1e-15);
+  }
+}
+
+TEST(DisseminationExact, MonotoneDecreasingInQ) {
+  for (std::int64_t q = 5; q < 60; ++q) {
+    EXPECT_GE(dissemination_epsilon_exact(100, q, 10) + 1e-15,
+              dissemination_epsilon_exact(100, q + 1, 10));
+  }
+}
+
+TEST(DisseminationBounds, ThirdDominatesExactAtBThird) {
+  // Lemma 4.3: P <= 2 e^{-l^2/6} for b = n/3.
+  for (std::int64_t n : {27, 99, 300, 900}) {
+    const std::int64_t b = n / 3;
+    for (std::int64_t q = 3; q <= n - b; q += 5) {
+      EXPECT_LE(dissemination_epsilon_exact(n, q, b),
+                dissemination_bound_third(n, q) + 1e-12)
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(DisseminationBounds, AlphaDominatesExact) {
+  // Lemma 4.5 for alpha in (1/3, 1).
+  for (double alpha : {0.4, 0.5, 0.6, 0.75}) {
+    const std::int64_t n = 400;
+    const auto b = static_cast<std::int64_t>(alpha * n);
+    for (std::int64_t q = 5; q <= n - b; q += 7) {
+      EXPECT_LE(dissemination_epsilon_exact(n, q, b),
+                dissemination_bound_alpha(n, q, alpha) + 1e-12)
+          << "alpha=" << alpha << " q=" << q;
+    }
+  }
+}
+
+TEST(DisseminationExact, GracefulDegradation) {
+  // Section 4.2 remark: fewer actual faults => smaller epsilon.
+  const std::int64_t n = 100, q = 24;
+  double prev = 0.0;
+  for (std::int64_t f = 0; f <= 33; ++f) {
+    const double eps = dissemination_epsilon_exact(n, q, f);
+    EXPECT_GE(eps + 1e-15, prev);
+    prev = eps;
+  }
+}
+
+// ---- Masking epsilon --------------------------------------------------------
+
+TEST(MaskingThreshold, MatchesFormula) {
+  EXPECT_EQ(masking_threshold(25, 15), 5);   // 225/50 = 4.5 -> 5
+  EXPECT_EQ(masking_threshold(100, 38), 8);  // 1444/200 = 7.22 -> 8
+  EXPECT_EQ(masking_threshold(900, 152), 13);  // 23104/1800 = 12.8 -> 13
+  EXPECT_EQ(masking_threshold(100, 10), 1);  // 100/200 = 0.5 -> >= 1
+}
+
+TEST(MaskingThreshold, BetweenExpectations) {
+  // Section 5.3: E[X] < k < E[Y] must hold for l = q/b > 2 (with some slack
+  // for rounding at realistic sizes).
+  for (auto [n, q, b] : {std::tuple{100, 38, 4}, std::tuple{400, 94, 9},
+                         std::tuple{900, 152, 14}}) {
+    const auto k = masking_threshold(n, q);
+    EXPECT_GT(static_cast<double>(k), expected_faulty_overlap(n, q, b));
+    EXPECT_LT(static_cast<double>(k), expected_correct_overlap(n, q, b));
+  }
+}
+
+TEST(MaskingExact, HandComputedValues) {
+  // Exact joint computation at the paper's Table 4 row n=25 (q=15, b=2):
+  // with k = ceil(q^2/2n) = 5 the epsilon is 1.102e-3 (a hair above the
+  // 1e-3 target — see EXPERIMENTS.md for the Table 4 convention
+  // discussion); with k = floor = 4 it is 3.06e-5.
+  EXPECT_NEAR(masking_epsilon_exact(25, 15, 2, 5), 1.102e-3, 2e-6);
+  EXPECT_NEAR(masking_epsilon_exact(25, 15, 2, 4), 3.06e-5, 5e-7);
+  EXPECT_NEAR(masking_epsilon_exact(25, 14, 2, 4), 1.65e-3, 5e-5);
+}
+
+TEST(MaskingExact, ZeroWhenFaultsCannotReachThresholdAndOverlapForced) {
+  // If b < k and |Q ∩ Q'| - b >= k always (pigeonhole: 2q - n - b >= k),
+  // the masking read cannot fail.
+  const std::int64_t n = 25, q = 18, b = 2;
+  const std::int64_t k = masking_threshold(n, q);  // ceil(324/50) = 7
+  EXPECT_EQ(k, 7);
+  EXPECT_GE(2 * q - n - b, k);
+  EXPECT_DOUBLE_EQ(masking_epsilon_exact(n, q, b, k), 0.0);
+}
+
+TEST(MaskingExact, OneWhenThresholdUnreachable) {
+  // k > q: no value can ever be vouched for by k servers.
+  EXPECT_DOUBLE_EQ(masking_epsilon_exact(50, 10, 5, 11), 1.0);
+}
+
+TEST(MaskingExact, MatchesExplicitEnumeration) {
+  // Brute force Definition 5.1 over all quorum pairs of a tiny system:
+  // P(|Q ∩ B| >= k or |Q ∩ Q'\B| < k), B = {0..b-1}.
+  const std::int64_t n = 8, q = 4, b = 2, k = 2;
+  const auto sys = quorum::SetSystem::all_subsets(n, q);
+  const auto& quorums = sys.quorums();
+  const double w = 1.0 / static_cast<double>(quorums.size());
+  double fail = 0.0;
+  for (const auto& read_q : quorums) {
+    std::int64_t faulty = 0;
+    for (auto u : read_q) faulty += (u < b) ? 1 : 0;
+    for (const auto& write_q : quorums) {
+      std::int64_t fresh_correct = 0;
+      for (auto u : read_q) {
+        for (auto v : write_q) {
+          if (u == v && u >= b) ++fresh_correct;
+        }
+      }
+      if (faulty >= k || fresh_correct < k) fail += w * w;
+    }
+  }
+  EXPECT_NEAR(masking_epsilon_exact(n, q, b, k), fail, 1e-10);
+}
+
+TEST(MaskingExact, MonotoneIncreasingInB) {
+  const std::int64_t n = 400, q = 94;
+  const auto k = masking_threshold(n, q);
+  for (std::int64_t b = 0; b < 40; ++b) {
+    EXPECT_LE(masking_epsilon_exact(n, q, b, k),
+              masking_epsilon_exact(n, q, b + 1, k) + 1e-15);
+  }
+}
+
+TEST(MaskingBound, DominatesExact) {
+  // Theorem 5.10: eps <= 2 exp(-(q^2/n) min(psi1, psi2)) for l = q/b > 2.
+  for (auto [n, b] : {std::tuple{100, 4}, std::tuple{400, 9},
+                      std::tuple{900, 14}, std::tuple{900, 30}}) {
+    for (std::int64_t q = 3 * b; q <= n - b; q += 11) {
+      const auto k = masking_threshold(n, q);
+      // 1e-9 absorbs the numerical noise floor of the exact computation
+      // (sums of lgamma-based terms) when the true value is ~0.
+      EXPECT_LE(masking_epsilon_exact(n, q, b, k),
+                masking_bound(n, q, b) + 1e-9)
+          << "n=" << n << " b=" << b << " q=" << q;
+    }
+  }
+}
+
+TEST(MaskingPsi, PaperExamples) {
+  // Section 5.5 remarks: l = 3 => eps <= 2 e^{-q^2/48n}; l = 20 =>
+  // eps <= 2 e^{-q^2/10n} (approximately).
+  EXPECT_NEAR(masking_psi2(3.0), 1.0 / 48.0, 1e-12);
+  EXPECT_NEAR(std::min(masking_psi1(20.0), masking_psi2(20.0)), 1.0 / 10.0,
+              0.02);
+}
+
+TEST(MaskingPsi, PiecewiseBranches) {
+  constexpr double kFourE = 4.0 * 2.718281828459045;
+  // psi1 itself jumps at l = 4e (the two Chernoff regimes of [MR95]):
+  // (l/2-1)^2/(4l) ~ 0.4526 just below, 1/3 just above.
+  EXPECT_NEAR(masking_psi1(kFourE - 1e-9), 0.45256, 1e-4);
+  EXPECT_NEAR(masking_psi1(kFourE + 1e-9), 1.0 / 3.0, 1e-12);
+  // But the bound uses min(psi1, psi2) and psi2(4e) ~ 0.092 < 1/3, so the
+  // effective exponent is continuous across the branch point.
+  EXPECT_NEAR(std::min(masking_psi1(kFourE - 1e-9), masking_psi2(kFourE - 1e-9)),
+              std::min(masking_psi1(kFourE + 1e-9), masking_psi2(kFourE + 1e-9)),
+              1e-6);
+  EXPECT_THROW(masking_psi1(2.0), std::invalid_argument);
+  EXPECT_THROW(masking_psi2(1.5), std::invalid_argument);
+}
+
+TEST(Expectations, Formulas) {
+  // Eq. 13: E[X] = q^2/(l n) with l = q/b, i.e. qb/n.
+  EXPECT_DOUBLE_EQ(expected_faulty_overlap(100, 20, 5), 1.0);
+  // Eq. 14: E[Y] = (q^2/n)(1 - b/n).
+  EXPECT_DOUBLE_EQ(expected_correct_overlap(100, 20, 5), 4.0 * 0.95);
+}
+
+// ---- Solvers -----------------------------------------------------------------
+
+TEST(Solvers, IntersectingMinimality) {
+  for (std::int64_t n : {25, 100, 225, 400, 625, 900}) {
+    const auto q = min_q_intersecting(n, 1e-3);
+    ASSERT_TRUE(q.has_value()) << "n=" << n;
+    EXPECT_LE(nonintersection_exact(n, *q), 1e-3);
+    if (*q > 1) {
+      EXPECT_GT(nonintersection_exact(n, *q - 1), 1e-3);
+    }
+  }
+}
+
+TEST(Solvers, IntersectingKnownValues) {
+  // Exact-eps minimal q; see EXPERIMENTS.md for the comparison with the
+  // paper's slightly smaller Table 2 values.
+  EXPECT_EQ(min_q_intersecting(25, 1e-3).value(), 10);   // paper: 9
+  EXPECT_EQ(min_q_intersecting(100, 1e-3).value(), 23);  // paper: 22
+}
+
+TEST(Solvers, DisseminationReproducesTable3) {
+  // The paper's Table 3: (n, b) -> quorum size l*sqrt(n).
+  struct Row { std::int64_t n, b, size; };
+  for (auto [n, b, size] :
+       {Row{25, 2, 11}, Row{100, 4, 24}, Row{225, 7, 37}, Row{400, 9, 50},
+        Row{625, 12, 63}, Row{900, 14, 77}}) {
+    const auto q = min_q_dissemination(n, b, 1e-3);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, size) << "n=" << n << " b=" << b;
+  }
+}
+
+TEST(Solvers, MaskingNearTable4) {
+  // The paper's exact procedure for Table 4 is not recoverable (no rounding
+  // convention for k = q^2/2n reproduces its l values exactly; see
+  // EXPERIMENTS.md). Our exact joint computation with k = ceil(q^2/2n)
+  // lands within a few servers of every paper row — assert our own values
+  // as a regression anchor next to the paper's.
+  struct Row { std::int64_t n, b, paper, ours; };
+  for (auto [n, b, paper, ours] :
+       {Row{25, 2, 15, 16}, Row{100, 4, 38, 40}, Row{225, 7, 64, 66},
+        Row{400, 9, 94, 93}, Row{625, 12, 123, 121},
+        Row{900, 14, 152, 146}}) {
+    const auto q = min_q_masking(n, b, 1e-3);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, ours) << "n=" << n << " b=" << b;
+    EXPECT_LE(std::abs(*q - paper), 6) << "n=" << n << " b=" << b;
+    // Under the floor convention the paper's own (q, k) rows all meet the
+    // 1e-3 target, confirming Table 4's parameters are sound.
+    const auto k_floor = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(paper * paper / (2 * n)));
+    EXPECT_LE(masking_epsilon_exact(n, paper, b, k_floor), 1e-3)
+        << "n=" << n << " b=" << b;
+  }
+}
+
+TEST(Solvers, RespectAvailabilityConstraint) {
+  // With b = n/2 no q can give A > b and tiny epsilon simultaneously when
+  // the target is strict enough.
+  const auto q = min_q_dissemination(20, 10, 1e-9);
+  EXPECT_FALSE(q.has_value());
+}
+
+TEST(Solvers, DegenerateAndInvalidTargets) {
+  // Any target is reachable once 2q > n forces intersection (eps = 0), so
+  // the intersecting solver falls back to the majority-ish size.
+  EXPECT_EQ(min_q_intersecting(4, 1e-9).value(), 3);
+  // With b = n/2 the availability constraint caps q at n - b = n/2, where
+  // quorums can still be disjoint — a strict-enough target is infeasible.
+  EXPECT_FALSE(min_q_dissemination(20, 10, 1e-9).has_value());
+  EXPECT_THROW(min_q_intersecting(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(min_q_intersecting(100, 1.0), std::invalid_argument);
+}
+
+// Property sweep: for every solver result, the availability constraint and
+// epsilon target hold simultaneously.
+class SolverSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(SolverSweep, DisseminationSolutionValid) {
+  const auto [n, b] = GetParam();
+  const auto q = min_q_dissemination(n, b, 1e-3);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_LE(dissemination_epsilon_exact(n, *q, b), 1e-3);
+  EXPECT_GT(n - *q + 1, b);  // A > b
+}
+
+TEST_P(SolverSweep, MaskingSolutionValid) {
+  const auto [n, b] = GetParam();
+  const auto q = min_q_masking(n, b, 1e-3);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_LE(masking_epsilon_exact(n, *q, b, masking_threshold(n, *q)), 1e-3);
+  EXPECT_GT(n - *q + 1, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverSweep,
+    ::testing::Values(std::tuple{100, 4}, std::tuple{100, 10},
+                      std::tuple{225, 7}, std::tuple{400, 9},
+                      std::tuple{400, 20}, std::tuple{900, 14},
+                      std::tuple{900, 30}));
+
+}  // namespace
+}  // namespace pqs::core

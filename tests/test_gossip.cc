@@ -1,0 +1,151 @@
+#include "diffusion/gossip.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "math/stats.h"
+#include "replica/instant_cluster.h"
+
+namespace pqs::diffusion {
+namespace {
+
+using replica::FaultMode;
+using replica::FaultPlan;
+using replica::InstantCluster;
+using replica::ReadMode;
+
+InstantCluster::Config config(std::uint32_t n, std::uint32_t q,
+                              std::uint64_t seed) {
+  InstantCluster::Config cfg;
+  cfg.quorums = std::make_shared<core::RandomSubsetSystem>(n, q);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Gossip, SpreadsFreshValueToAllCorrectServers) {
+  InstantCluster cluster(config(30, 6, 1));
+  const auto w = cluster.write(1, 42);
+  GossipEngine engine({.fanout = 2, .verify = false});
+  EXPECT_LT(GossipEngine::coverage(cluster.servers(), 1, w.timestamp), 0.5);
+  engine.run_rounds(cluster.servers(), 8, cluster.rng());
+  EXPECT_DOUBLE_EQ(GossipEngine::coverage(cluster.servers(), 1, w.timestamp),
+                   1.0);
+}
+
+TEST(Gossip, CoverageGrowsMonotonically) {
+  InstantCluster cluster(config(100, 10, 2));
+  const auto w = cluster.write(1, 7);
+  GossipEngine engine({.fanout = 1, .verify = false});
+  double prev = GossipEngine::coverage(cluster.servers(), 1, w.timestamp);
+  for (int round = 0; round < 12; ++round) {
+    engine.run_round(cluster.servers(), cluster.rng());
+    const double cur = GossipEngine::coverage(cluster.servers(), 1, w.timestamp);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(Gossip, DrivesStalenessTowardZero) {
+  // Section 1.1's claim, measured: with diffusion between write and read,
+  // the staleness probability drops far below the quorum-only epsilon.
+  const std::uint32_t n = 64, q = 8;  // coarse: eps ~ e^{-1} without gossip
+  const double eps = core::nonintersection_exact(n, q);
+  ASSERT_GT(eps, 0.2);
+  for (std::uint32_t rounds : {0u, 2u, 5u}) {
+    InstantCluster cluster(config(n, q, 3 + rounds));
+    GossipEngine engine({.fanout = 2, .verify = false});
+    math::Proportion stale;
+    std::int64_t value = 0;
+    for (int i = 0; i < 2000; ++i) {
+      cluster.write(1, ++value);
+      engine.run_rounds(cluster.servers(), rounds, cluster.rng());
+      const auto r = cluster.read(1);
+      stale.add(!(r.selection.has_value && r.selection.record.value == value));
+    }
+    if (rounds == 0) {
+      EXPECT_GT(stale.estimate(), eps / 2);
+    } else if (rounds == 5) {
+      EXPECT_LT(stale.estimate(), eps / 20);
+    }
+  }
+}
+
+TEST(Gossip, UnverifiedDiffusionIsPoisonedByForgers) {
+  const std::uint32_t n = 30, b = 6;
+  InstantCluster cluster(config(n, 8, 4),
+                         FaultPlan::prefix(n, b, FaultMode::kForge));
+  // Several writes so that the forgers (who ack but do not adopt) learn the
+  // variable with near-certainty and have something to lie about.
+  replica::WriteResult w;
+  for (int i = 0; i < 5; ++i) w = cluster.write(1, 42);
+  GossipEngine engine({.fanout = 2, .verify = false});
+  engine.run_rounds(cluster.servers(), 6, cluster.rng());
+  // Forged records carry astronomically fresh timestamps; without
+  // verification they displace the genuine value on correct servers.
+  int poisoned = 0;
+  for (auto& s : cluster.servers()) {
+    if (s->mode() != FaultMode::kCorrect) continue;
+    const auto* rec = s->find(1);
+    if (rec != nullptr && rec->timestamp > w.timestamp) ++poisoned;
+  }
+  EXPECT_GT(poisoned, 0);
+}
+
+TEST(Gossip, VerifiedDiffusionResistsForgers) {
+  const std::uint32_t n = 30, b = 6;
+  InstantCluster cluster(config(n, 8, 5),
+                         FaultPlan::prefix(n, b, FaultMode::kForge));
+  replica::WriteResult w;
+  for (int i = 0; i < 5; ++i) w = cluster.write(1, 42);
+  GossipEngine engine({.fanout = 2, .verify = true}, cluster.verifier());
+  const auto stats = engine.run_rounds(cluster.servers(), 10, cluster.rng());
+  EXPECT_GT(stats.rejected, 0u);  // forged pushes were seen and dropped
+  for (auto& s : cluster.servers()) {
+    if (s->mode() != FaultMode::kCorrect) continue;
+    const auto* rec = s->find(1);
+    if (rec != nullptr) {
+      EXPECT_LE(rec->timestamp, w.timestamp);
+      EXPECT_EQ(rec->value, 42);
+    }
+  }
+  EXPECT_DOUBLE_EQ(GossipEngine::coverage(cluster.servers(), 1, w.timestamp),
+                   1.0);
+}
+
+TEST(Gossip, CrashedServersNeitherSendNorReceive) {
+  const std::uint32_t n = 20;
+  InstantCluster cluster(config(n, 5, 6),
+                         FaultPlan::prefix(n, 5, FaultMode::kCrash));
+  const auto w = cluster.write(1, 9);
+  GossipEngine engine({.fanout = 3, .verify = false});
+  engine.run_rounds(cluster.servers(), 10, cluster.rng());
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(cluster.server(i).find(1), nullptr);
+  }
+  EXPECT_DOUBLE_EQ(GossipEngine::coverage(cluster.servers(), 1, w.timestamp),
+                   1.0);
+}
+
+TEST(Gossip, StatsAccounting) {
+  InstantCluster cluster(config(10, 3, 7));
+  cluster.write(1, 1);
+  GossipEngine engine({.fanout = 2, .verify = false});
+  const auto stats = engine.run_round(cluster.servers(), cluster.rng());
+  EXPECT_GT(stats.pushes, 0u);
+  EXPECT_LE(stats.adoptions, stats.pushes);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(Gossip, ConfigValidation) {
+  EXPECT_THROW(GossipEngine({.fanout = 0, .verify = false}),
+               std::invalid_argument);
+  EXPECT_THROW(GossipEngine({.fanout = 2, .verify = true}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pqs::diffusion

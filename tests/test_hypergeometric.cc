@@ -1,0 +1,135 @@
+#include "math/hypergeometric.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "math/combinatorics.h"
+
+namespace pqs::math {
+namespace {
+
+TEST(Hypergeometric, SupportBounds) {
+  const auto h = make_hypergeometric(20, 6, 9);
+  EXPECT_EQ(h.support_min(), 0);
+  EXPECT_EQ(h.support_max(), 6);
+  const auto tight = make_hypergeometric(10, 8, 7);
+  EXPECT_EQ(tight.support_min(), 5);  // 7 + 8 - 10
+  EXPECT_EQ(tight.support_max(), 7);
+}
+
+TEST(Hypergeometric, PmfSumsToOne) {
+  for (auto [n, K, q] : {std::tuple{10, 3, 4}, std::tuple{25, 9, 9},
+                         std::tuple{100, 22, 22}, std::tuple{50, 49, 30}}) {
+    const auto h = make_hypergeometric(n, K, q);
+    double total = 0.0;
+    for (auto x = h.support_min(); x <= h.support_max(); ++x) {
+      total += h.pmf(x);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10) << "n=" << n << " K=" << K << " q=" << q;
+  }
+}
+
+TEST(Hypergeometric, PmfMatchesExactCounting) {
+  // H(3; 10, 4): P(X=x) = C(3,x) C(7,4-x) / C(10,4).
+  const auto h = make_hypergeometric(10, 3, 4);
+  const double denom = static_cast<double>(choose_exact(10, 4));
+  for (std::int64_t x = 0; x <= 3; ++x) {
+    const double expected = static_cast<double>(choose_exact(3, x)) *
+                            static_cast<double>(choose_exact(7, 4 - x)) /
+                            denom;
+    EXPECT_NEAR(h.pmf(x), expected, 1e-12);
+  }
+}
+
+TEST(Hypergeometric, OutOfSupportIsZero) {
+  const auto h = make_hypergeometric(10, 3, 4);
+  EXPECT_DOUBLE_EQ(h.pmf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(h.pmf(4), 0.0);
+}
+
+TEST(Hypergeometric, MeanFormula) {
+  const auto h = make_hypergeometric(100, 22, 22);
+  // E[X] = q K / n (Eq. 13 of the paper with K = b).
+  EXPECT_NEAR(h.mean(), 22.0 * 22.0 / 100.0, 1e-12);
+}
+
+TEST(Hypergeometric, MeanMatchesPmfWeightedSum) {
+  const auto h = make_hypergeometric(60, 17, 24);
+  double mean = 0.0;
+  for (auto x = h.support_min(); x <= h.support_max(); ++x) {
+    mean += static_cast<double>(x) * h.pmf(x);
+  }
+  EXPECT_NEAR(mean, h.mean(), 1e-10);
+}
+
+TEST(Hypergeometric, VarianceMatchesPmfWeightedSum) {
+  const auto h = make_hypergeometric(60, 17, 24);
+  double mean = 0.0;
+  double second = 0.0;
+  for (auto x = h.support_min(); x <= h.support_max(); ++x) {
+    mean += static_cast<double>(x) * h.pmf(x);
+    second += static_cast<double>(x) * static_cast<double>(x) * h.pmf(x);
+  }
+  EXPECT_NEAR(h.variance(), second - mean * mean, 1e-8);
+}
+
+TEST(Hypergeometric, VarianceBelowBinomial) {
+  // Sampling without replacement concentrates: V[X] < V[X_binomial]
+  // (the paper's remark after Proposition 5.8).
+  const auto h = make_hypergeometric(100, 30, 40);
+  const double binom_var = 40.0 * 0.3 * 0.7;
+  EXPECT_LT(h.variance(), binom_var);
+}
+
+TEST(Hypergeometric, CdfAndTailComplement) {
+  const auto h = make_hypergeometric(40, 13, 19);
+  for (auto x = h.support_min() - 1; x <= h.support_max() + 1; ++x) {
+    EXPECT_NEAR(h.cdf(x) + h.upper_tail(x + 1), 1.0, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Hypergeometric, TailMatchesBruteForce) {
+  const auto h = make_hypergeometric(40, 13, 19);
+  for (auto x = h.support_min(); x <= h.support_max(); ++x) {
+    double expected = 0.0;
+    for (auto i = x; i <= h.support_max(); ++i) expected += h.pmf(i);
+    EXPECT_NEAR(h.upper_tail(x), expected, 1e-10);
+  }
+}
+
+TEST(Hypergeometric, TailExtremes) {
+  const auto h = make_hypergeometric(40, 13, 19);
+  EXPECT_DOUBLE_EQ(h.upper_tail(h.support_min()), 1.0);
+  EXPECT_DOUBLE_EQ(h.upper_tail(h.support_max() + 1), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(h.support_max()), 1.0);
+}
+
+TEST(Hypergeometric, InvalidParamsThrow) {
+  EXPECT_THROW(make_hypergeometric(10, 11, 5), std::invalid_argument);
+  EXPECT_THROW(make_hypergeometric(10, 5, 11), std::invalid_argument);
+  EXPECT_THROW(make_hypergeometric(10, -1, 5), std::invalid_argument);
+}
+
+// Property sweep: symmetry H(K; n, q)(x) == H(q; n, K)(x).
+class HypergeometricSymmetry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HypergeometricSymmetry, DrawsAndSuccessesInterchange) {
+  const auto [n, K, q] = GetParam();
+  const auto a = make_hypergeometric(n, K, q);
+  const auto b = make_hypergeometric(n, q, K);
+  for (auto x = a.support_min(); x <= a.support_max(); ++x) {
+    EXPECT_NEAR(a.pmf(x), b.pmf(x), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HypergeometricSymmetry,
+    ::testing::Values(std::tuple{12, 4, 7}, std::tuple{30, 11, 6},
+                      std::tuple{64, 20, 33}, std::tuple{100, 50, 50},
+                      std::tuple{225, 36, 36}));
+
+}  // namespace
+}  // namespace pqs::math

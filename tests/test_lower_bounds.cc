@@ -1,0 +1,133 @@
+#include "core/lower_bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/random_subset_system.h"
+#include "quorum/grid.h"
+#include "quorum/measures.h"
+#include "quorum/singleton.h"
+#include "quorum/threshold.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(StrictBounds, Table1Formulas) {
+  EXPECT_DOUBLE_EQ(strict_load_lower_bound(100), 0.1);
+  EXPECT_DOUBLE_EQ(strict_dissemination_load_lower_bound(100, 3), 0.2);
+  EXPECT_NEAR(strict_masking_load_lower_bound(100, 4), 0.3, 1e-12);
+  EXPECT_EQ(strict_dissemination_max_b(100), 33);
+  EXPECT_EQ(strict_masking_max_b(100), 24);
+  EXPECT_EQ(strict_dissemination_max_b(25), 8);
+  EXPECT_EQ(strict_masking_max_b(25), 6);
+}
+
+TEST(StrictBounds, EveryStrictConstructionRespectsLoadBound) {
+  for (std::uint32_t n : {25u, 100u, 400u, 900u}) {
+    EXPECT_GE(quorum::ThresholdSystem::majority(n).load() + 1e-12,
+              strict_load_lower_bound(n));
+    EXPECT_GE(quorum::GridSystem::square(n).load() + 1e-12,
+              strict_load_lower_bound(n));
+    EXPECT_GE(quorum::SingletonSystem(n).load() + 1e-12,
+              strict_load_lower_bound(n));
+  }
+}
+
+TEST(StrictBounds, ByzantineConstructionsRespectTheirBounds) {
+  for (std::uint32_t n : {100u, 400u, 900u}) {
+    const std::uint32_t b = (static_cast<std::uint32_t>(std::sqrt(n)) - 1) / 2;
+    EXPECT_GE(quorum::ThresholdSystem::dissemination(n, b).load() + 1e-12,
+              strict_dissemination_load_lower_bound(n, b));
+    EXPECT_GE(quorum::GridSystem::dissemination(n, b).load() + 1e-12,
+              strict_dissemination_load_lower_bound(n, b));
+    EXPECT_GE(quorum::ThresholdSystem::masking(n, b).load() + 1e-12,
+              strict_masking_load_lower_bound(n, b));
+    EXPECT_GE(quorum::GridSystem::masking(n, b).load() + 1e-12,
+              strict_masking_load_lower_bound(n, b));
+  }
+}
+
+TEST(ProbabilisticLoadBound, Theorem39HoldsForConstruction) {
+  // L = q/n must dominate max(E|Q|/n, (1-sqrt(eps))^2/E|Q|).
+  for (std::uint32_t n : {100u, 225u, 400u, 900u}) {
+    const auto sys = RandomSubsetSystem::intersecting(n, 1e-3);
+    const double bound = probabilistic_load_lower_bound(
+        sys.quorum_size(), n, sys.epsilon());
+    EXPECT_GE(sys.load() + 1e-12, bound) << "n=" << n;
+  }
+}
+
+TEST(ProbabilisticLoadBound, Corollary312) {
+  for (std::uint32_t n : {100u, 400u, 900u}) {
+    const auto sys = RandomSubsetSystem::intersecting(n, 1e-3);
+    EXPECT_GE(sys.load() + 1e-12,
+              probabilistic_load_floor(n, sys.epsilon()));
+    // The floor itself is below the strict 1/sqrt(n) floor (epsilon > 0).
+    EXPECT_LE(probabilistic_load_floor(n, sys.epsilon()),
+              strict_load_lower_bound(n));
+  }
+}
+
+TEST(ProbabilisticLoadBound, ConstructionIsNearOptimal) {
+  // The construction's load q/n exceeds the Theorem 3.9 floor by at most
+  // a factor ~l^2: check it stays within one order of magnitude.
+  const auto sys = RandomSubsetSystem::intersecting(900, 1e-3);
+  const double floor = probabilistic_load_floor(900, sys.epsilon());
+  EXPECT_LT(sys.load() / floor, 10.0);
+}
+
+TEST(MaskingLoadBound, Theorem55HoldsForConstruction) {
+  for (auto [n, b] : {std::pair{100u, 4u}, std::pair{400u, 9u},
+                      std::pair{900u, 14u}, std::pair{900u, 90u}}) {
+    const auto sys = RandomSubsetSystem::masking(n, b, 1e-3);
+    const double bound =
+        probabilistic_masking_load_lower_bound(n, b, sys.epsilon());
+    EXPECT_GT(sys.load(), bound) << "n=" << n << " b=" << b;
+  }
+}
+
+TEST(MaskingLoadBound, BeatsStrictBoundForLargeB) {
+  // Section 5.5: for b = omega(sqrt(n)) with constant l the probabilistic
+  // load o(sqrt(b/n)) beats the strict Omega(sqrt(b/n)). Concrete: n=900,
+  // b=90 => strict floor sqrt(181/900) ~ 0.449.
+  const std::uint32_t n = 900, b = 90;
+  const auto sys = RandomSubsetSystem::masking(n, b, 1e-3);
+  EXPECT_LT(sys.load(), strict_masking_load_lower_bound(n, b));
+}
+
+TEST(MaskingLoadBound, RejectsEpsilonAboveHalf) {
+  EXPECT_THROW(probabilistic_masking_load_lower_bound(100, 10, 0.6),
+               std::invalid_argument);
+}
+
+TEST(StrictFailureBound, ShapeAndCrossover) {
+  // Below 1/2 the majority bound is tiny; above 1/2 the singleton (p) wins.
+  EXPECT_LT(strict_failure_probability_lower_bound(300, 0.2), 1e-20);
+  EXPECT_DOUBLE_EQ(strict_failure_probability_lower_bound(300, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(strict_failure_probability_lower_bound(300, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(strict_failure_probability_lower_bound(300, 0.0), 0.0);
+}
+
+TEST(StrictFailureBound, ProbabilisticConstructionBeatsItAboveHalf) {
+  // Figures 1-3's headline: for p in [1/2, 1 - l/sqrt(n)], R(n, l sqrt(n))
+  // has failure probability below what ANY strict system can achieve.
+  const auto sys = RandomSubsetSystem::intersecting(300, 1e-3);
+  for (double p : {0.5, 0.55, 0.6, 0.7, 0.75}) {
+    EXPECT_LT(sys.failure_probability(p),
+              strict_failure_probability_lower_bound(300, p))
+        << "p=" << p;
+  }
+}
+
+TEST(StrictFailureBound, MajorityMatchesBoundBelowHalf) {
+  // The bound *is* the majority system's curve below 1/2 for equal n.
+  const auto majority = quorum::ThresholdSystem::majority(300);
+  for (double p : {0.1, 0.3, 0.45}) {
+    EXPECT_DOUBLE_EQ(strict_failure_probability_lower_bound(300, p),
+                     majority.failure_probability(p));
+  }
+}
+
+}  // namespace
+}  // namespace pqs::core

@@ -1,0 +1,130 @@
+// Statistical cross-validation: every exact analysis must sit inside the
+// Wilson interval of its Monte-Carlo estimate (z = 4.4, i.e. ~1e-5 chance
+// of a false alarm per check even before discreteness slack).
+#include "core/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+
+namespace pqs::core {
+namespace {
+
+constexpr double kZ = 4.4;
+
+TEST(MonteCarlo, NonintersectionMatchesExact) {
+  math::Rng rng(101);
+  const RandomSubsetSystem sys(64, 8);  // exact eps ~ 0.32
+  const auto est = estimate_nonintersection(sys, 200000, rng);
+  EXPECT_TRUE(est.wilson(kZ).contains(nonintersection_exact(64, 8)))
+      << est.estimate();
+}
+
+TEST(MonteCarlo, NonintersectionZeroForStrict) {
+  math::Rng rng(103);
+  const quorum::ThresholdSystem sys(21, 11);
+  const auto est = estimate_nonintersection(sys, 20000, rng);
+  EXPECT_EQ(est.successes(), 0u);
+}
+
+TEST(MonteCarlo, DisseminationEpsilonMatchesExact) {
+  math::Rng rng(107);
+  const RandomSubsetSystem sys(60, 10);
+  const double exact = dissemination_epsilon_exact(60, 10, 12);
+  ASSERT_GT(exact, 0.01);  // keep the statistical test well-powered
+  const auto est = estimate_dissemination_epsilon(sys, 12, 200000, rng);
+  EXPECT_TRUE(est.wilson(kZ).contains(exact))
+      << est.estimate() << " vs " << exact;
+}
+
+TEST(MonteCarlo, MaskingEpsilonMatchesExact) {
+  math::Rng rng(109);
+  const std::uint32_t n = 80, q = 24, b = 8;
+  const auto k = static_cast<std::uint32_t>(masking_threshold(n, q));
+  const RandomSubsetSystem sys(n, q);
+  const double exact = masking_epsilon_exact(n, q, b, k);
+  const auto est = estimate_masking_epsilon(sys, b, k, 200000, rng);
+  EXPECT_TRUE(est.wilson(kZ).contains(exact))
+      << est.estimate() << " vs " << exact;
+}
+
+TEST(MonteCarlo, LoadMatchesAnalyticUniform) {
+  math::Rng rng(113);
+  const RandomSubsetSystem sys(50, 10);
+  const auto loads = estimate_server_loads(sys, 100000, rng);
+  for (auto l : loads) EXPECT_NEAR(l, 0.2, 0.02);
+  EXPECT_NEAR(estimate_load(sys, 100000, rng), sys.load(), 0.02);
+}
+
+TEST(MonteCarlo, LoadMatchesAnalyticGrid) {
+  math::Rng rng(127);
+  const auto sys = quorum::GridSystem::square(49);
+  EXPECT_NEAR(estimate_load(sys, 100000, rng), sys.load(), 0.02);
+}
+
+TEST(MonteCarlo, FailureProbabilityMatchesBinomialTail) {
+  math::Rng rng(131);
+  const RandomSubsetSystem sys(60, 15);
+  for (double p : {0.6, 0.7, 0.75}) {
+    const auto est = estimate_failure_probability(sys, p, 100000, rng);
+    EXPECT_TRUE(est.wilson(kZ).contains(sys.failure_probability(p)))
+        << "p=" << p << " est=" << est.estimate();
+  }
+}
+
+TEST(MonteCarlo, FailureProbabilityMatchesGridMonteCarlo) {
+  math::Rng rng(137);
+  const auto sys = quorum::GridSystem::square(36);
+  const auto est = estimate_failure_probability(sys, 0.3, 100000, rng);
+  // grid failure_probability() is itself Monte-Carlo (fixed seed); allow
+  // both estimates' noise.
+  EXPECT_NEAR(est.estimate(), sys.failure_probability(0.3), 0.01);
+}
+
+TEST(MonteCarlo, SplitStrategyBreaksEpsilon) {
+  // Section 3.1 remark: the same set system under a bad strategy loses the
+  // intersection guarantee — nonintersection ~ 1/2 instead of exact eps.
+  math::Rng rng(139);
+  const std::uint32_t n = 100, q = 23;
+  const auto bad = estimate_split_strategy_nonintersection(n, q, 50000, rng);
+  EXPECT_GT(bad.estimate(), 0.45);
+  EXPECT_LT(bad.estimate(), 0.55);
+  EXPECT_LT(nonintersection_exact(n, q), 1e-3);  // uniform would be fine
+}
+
+TEST(MonteCarlo, EstimatorsAreDeterministicPerSeed) {
+  const RandomSubsetSystem sys(40, 9);
+  math::Rng r1(997), r2(997);
+  const auto a = estimate_nonintersection(sys, 5000, r1);
+  const auto b = estimate_nonintersection(sys, 5000, r2);
+  EXPECT_EQ(a.successes(), b.successes());
+}
+
+// Sweep: MC vs exact across a (n, q, b) grid for dissemination epsilon.
+class McDisseminationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(McDisseminationSweep, WithinConfidence) {
+  const auto [n, q, b] = GetParam();
+  math::Rng rng(1000 + n * 31 + q * 7 + b);
+  const RandomSubsetSystem sys(n, q);
+  const double exact = dissemination_epsilon_exact(n, q, b);
+  const auto est = estimate_dissemination_epsilon(sys, b, 150000, rng);
+  EXPECT_TRUE(est.wilson(kZ).contains(exact))
+      << "n=" << n << " q=" << q << " b=" << b << " est=" << est.estimate()
+      << " exact=" << exact;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, McDisseminationSweep,
+    ::testing::Values(std::tuple{40, 8, 5}, std::tuple{40, 8, 13},
+                      std::tuple{60, 12, 20}, std::tuple{80, 10, 26},
+                      std::tuple{100, 12, 33}, std::tuple{100, 20, 50}));
+
+}  // namespace
+}  // namespace pqs::core

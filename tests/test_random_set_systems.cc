@@ -1,0 +1,115 @@
+// Randomized validation of the paper's definitional machinery and lower
+// bounds on arbitrary finite set systems.
+//
+// For randomly generated <Q, w> (random quorums, random strategy weights):
+//   * Lemma 3.5:  P(Q in R_delta) >= 1 - eps/delta for the delta-high-
+//     quality quorums R_delta;
+//   * Lemma 3.10: L_w(Q) >= E|Q| / n;
+//   * Lemma 3.11 / Theorem 3.9: L_w(Q) >= (1 - sqrt(eps))^2 / E|Q|;
+//   * probabilistic measures never exceed their strict counterparts
+//     (A(<Q,w>) <= A(Q), F_p(<Q,w>) >= F_p(Q)).
+//
+// These hold for EVERY set system and strategy, so testing them on random
+// instances is a genuine adversarial check of the implementation (and of
+// our reading of the paper).
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "math/sampling.h"
+#include "quorum/set_system.h"
+
+namespace pqs::quorum {
+namespace {
+
+SetSystem random_system(std::uint64_t seed) {
+  math::Rng rng(seed);
+  const std::uint32_t n = 6 + static_cast<std::uint32_t>(rng.below(8));
+  const std::size_t m = 3 + static_cast<std::size_t>(rng.below(9));
+  std::vector<Quorum> quorums;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t size =
+        1 + static_cast<std::uint32_t>(rng.below(n));
+    quorums.push_back(math::sample_without_replacement(n, size, rng));
+  }
+  std::vector<double> weights(m);
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = 0.05 + rng.uniform();
+    total += w;
+  }
+  for (auto& w : weights) w /= total;
+  // Normalize the tiny floating residue so SetSystem's sum check passes.
+  weights.back() += 1.0 - std::accumulate(weights.begin(), weights.end(), 0.0);
+  return SetSystem(n, std::move(quorums), std::move(weights));
+}
+
+double expected_quorum_size(const SetSystem& sys) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < sys.quorum_count(); ++i) {
+    e += sys.weights()[i] * static_cast<double>(sys.quorums()[i].size());
+  }
+  return e;
+}
+
+class RandomSetSystems : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSetSystems, Lemma35HighQualityMass) {
+  const auto sys = random_system(GetParam());
+  const double eps = 1.0 - sys.intersection_probability();
+  for (double delta : {0.05, 0.1, 0.25, 0.5, std::sqrt(std::max(eps, 1e-12))}) {
+    const auto hq = sys.high_quality_indices(delta);
+    double mass = 0.0;
+    for (auto i : hq) mass += sys.weights()[i];
+    EXPECT_GE(mass + 1e-9, 1.0 - eps / delta)
+        << "delta=" << delta << " eps=" << eps;
+  }
+}
+
+TEST_P(RandomSetSystems, Lemma310LoadAtLeastMeanSizeOverN) {
+  const auto sys = random_system(GetParam());
+  EXPECT_GE(sys.load() + 1e-12,
+            expected_quorum_size(sys) / sys.universe_size());
+}
+
+TEST_P(RandomSetSystems, Theorem39LoadBound) {
+  const auto sys = random_system(GetParam());
+  const double eps = std::max(0.0, 1.0 - sys.intersection_probability());
+  const double s = 1.0 - std::sqrt(eps);
+  EXPECT_GE(sys.load() + 1e-9, s * s / expected_quorum_size(sys));
+}
+
+TEST_P(RandomSetSystems, ProbabilisticMeasuresNeverBeatStrictOnes) {
+  const auto sys = random_system(GetParam());
+  EXPECT_LE(sys.probabilistic_fault_tolerance(), sys.fault_tolerance());
+  for (double p : {0.2, 0.5, 0.8}) {
+    EXPECT_GE(sys.probabilistic_failure_probability(p) + 1e-12,
+              sys.failure_probability(p))
+        << "p=" << p;
+  }
+}
+
+TEST_P(RandomSetSystems, QualityIsAProbability) {
+  const auto sys = random_system(GetParam());
+  for (std::size_t i = 0; i < sys.quorum_count(); ++i) {
+    const double quality = sys.quorum_quality(i);
+    EXPECT_GE(quality, 0.0);
+    EXPECT_LE(quality, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(RandomSetSystems, StrictSystemsHaveInterceptionProbabilityOne) {
+  const auto sys = random_system(GetParam());
+  if (sys.is_strict()) {
+    EXPECT_NEAR(sys.intersection_probability(), 1.0, 1e-9);
+    EXPECT_EQ(sys.probabilistic_fault_tolerance(), sys.fault_tolerance());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSetSystems,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace pqs::quorum

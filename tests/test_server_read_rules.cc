@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "crypto/mac.h"
+#include "math/rng.h"
+#include "replica/read_rules.h"
+#include "replica/server.h"
+
+namespace pqs::replica {
+namespace {
+
+crypto::Signer test_signer() { return crypto::Signer::from_seed(2024); }
+
+Server make_server(std::uint32_t id, FaultMode mode) {
+  return Server(id, mode, math::Rng(id + 1),
+                std::make_shared<const ColludePlan>());
+}
+
+ReadReply reply_of(const std::vector<Outbound>& out) {
+  EXPECT_EQ(out.size(), 1u);
+  const auto* r = std::get_if<ReadReply>(&out[0].message);
+  EXPECT_NE(r, nullptr);
+  return *r;
+}
+
+TEST(Server, CorrectWriteReadRoundTrip) {
+  auto server = make_server(0, FaultMode::kCorrect);
+  const auto rec = test_signer().sign(1, 42, 100, 1);
+  const auto acks = server.process(99, WriteRequest{5, rec});
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].to, 99u);
+  const auto* ack = std::get_if<WriteAck>(&acks[0].message);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->op, 5u);
+
+  const auto r = reply_of(server.process(99, ReadRequest{6, 1}));
+  EXPECT_TRUE(r.has_value);
+  EXPECT_EQ(r.record.value, 42);
+  EXPECT_EQ(r.record.timestamp, 100u);
+}
+
+TEST(Server, ReadOfUnknownVariableIsEmpty) {
+  auto server = make_server(0, FaultMode::kCorrect);
+  const auto r = reply_of(server.process(7, ReadRequest{1, 999}));
+  EXPECT_FALSE(r.has_value);
+}
+
+TEST(Server, KeepsHighestTimestampOnly) {
+  auto server = make_server(0, FaultMode::kCorrect);
+  const auto signer = test_signer();
+  server.process(1, WriteRequest{1, signer.sign(1, 10, 200, 1)});
+  server.process(1, WriteRequest{2, signer.sign(1, 20, 100, 1)});  // older
+  const auto r = reply_of(server.process(1, ReadRequest{3, 1}));
+  EXPECT_EQ(r.record.value, 10);
+  EXPECT_EQ(r.record.timestamp, 200u);
+  server.process(1, WriteRequest{4, signer.sign(1, 30, 300, 1)});  // newer
+  const auto r2 = reply_of(server.process(1, ReadRequest{5, 1}));
+  EXPECT_EQ(r2.record.value, 30);
+}
+
+TEST(Server, CrashedServerIsSilent) {
+  auto server = make_server(0, FaultMode::kCrash);
+  EXPECT_TRUE(server.process(1, WriteRequest{1, test_signer().sign(1, 1, 1, 1)})
+                  .empty());
+  EXPECT_TRUE(server.process(1, ReadRequest{2, 1}).empty());
+}
+
+TEST(Server, SuppressingServerIsSilentButTracked) {
+  auto server = make_server(0, FaultMode::kSuppress);
+  EXPECT_TRUE(server.process(1, WriteRequest{1, test_signer().sign(1, 1, 1, 1)})
+                  .empty());
+  EXPECT_TRUE(server.process(1, ReadRequest{2, 1}).empty());
+}
+
+TEST(Server, StaleReplayServesFirstValueWithValidTag) {
+  auto server = make_server(0, FaultMode::kStaleReplay);
+  const auto signer = test_signer();
+  const crypto::Verifier verifier(signer.key());
+  server.process(1, WriteRequest{1, signer.sign(1, 10, 100, 1)});
+  server.process(1, WriteRequest{2, signer.sign(1, 20, 200, 1)});
+  const auto r = reply_of(server.process(1, ReadRequest{3, 1}));
+  ASSERT_TRUE(r.has_value);
+  EXPECT_EQ(r.record.value, 10);         // the stale value
+  EXPECT_EQ(r.record.timestamp, 100u);   // with its honest old timestamp
+  EXPECT_TRUE(verifier.verify(r.record));  // and a *valid* tag
+}
+
+TEST(Server, ForgeProducesInvalidTagAndHugeTimestamp) {
+  auto server = make_server(0, FaultMode::kForge);
+  const auto signer = test_signer();
+  const crypto::Verifier verifier(signer.key());
+  server.process(1, WriteRequest{1, signer.sign(1, 10, 100, 1)});
+  const auto r = reply_of(server.process(1, ReadRequest{2, 1}));
+  ASSERT_TRUE(r.has_value);
+  EXPECT_GT(r.record.timestamp, 100u);
+  EXPECT_FALSE(verifier.verify(r.record));
+}
+
+TEST(Server, ColludersAgreeOnForgedRecord) {
+  const auto plan = std::make_shared<const ColludePlan>();
+  Server a(0, FaultMode::kCollude, math::Rng(1), plan);
+  Server b(1, FaultMode::kCollude, math::Rng(2), plan);
+  const auto signer = test_signer();
+  a.process(9, WriteRequest{1, signer.sign(1, 10, 100, 1)});
+  b.process(9, WriteRequest{2, signer.sign(1, 10, 100, 1)});
+  const auto ra = reply_of(a.process(9, ReadRequest{3, 1}));
+  const auto rb = reply_of(b.process(9, ReadRequest{4, 1}));
+  EXPECT_EQ(ra.record, rb.record);  // identical lie
+  EXPECT_EQ(ra.record.value, plan->forged(1).value);
+}
+
+TEST(Server, AdoptIsMonotone) {
+  auto server = make_server(0, FaultMode::kCorrect);
+  const auto signer = test_signer();
+  EXPECT_TRUE(server.adopt(signer.sign(1, 5, 50, 1)));
+  EXPECT_FALSE(server.adopt(signer.sign(1, 4, 40, 1)));   // older
+  EXPECT_FALSE(server.adopt(signer.sign(1, 5, 50, 1)));   // equal
+  EXPECT_TRUE(server.adopt(signer.sign(1, 6, 60, 1)));
+  EXPECT_EQ(server.find(1)->value, 6);
+}
+
+TEST(Server, GossipAdoptionRespectsVerifier) {
+  auto server = make_server(0, FaultMode::kCorrect);
+  const auto signer = test_signer();
+  server.set_gossip_verifier(crypto::Verifier(signer.key()));
+  // Valid gossip adopted.
+  server.process(1, Message{GossipPush{signer.sign(1, 7, 70, 1)}});
+  ASSERT_NE(server.find(1), nullptr);
+  EXPECT_EQ(server.find(1)->value, 7);
+  // Forged gossip (bad tag) rejected.
+  auto fake = signer.sign(1, 8, 80, 1);
+  fake.tag ^= 1;
+  server.process(1, Message{GossipPush{fake}});
+  EXPECT_EQ(server.find(1)->value, 7);
+}
+
+TEST(Server, GossipRecordsPerMode) {
+  const auto signer = test_signer();
+  const auto rec = signer.sign(1, 10, 100, 1);
+  for (auto mode : {FaultMode::kCorrect, FaultMode::kStaleReplay,
+                    FaultMode::kForge, FaultMode::kCollude}) {
+    auto server = make_server(0, mode);
+    server.process(1, WriteRequest{1, rec});
+    const auto records = server.gossip_records();
+    ASSERT_EQ(records.size(), 1u) << fault_mode_name(mode);
+    if (mode == FaultMode::kCorrect || mode == FaultMode::kStaleReplay) {
+      EXPECT_EQ(records[0], rec);
+    } else {
+      EXPECT_NE(records[0], rec);
+    }
+  }
+  for (auto mode : {FaultMode::kCrash, FaultMode::kSuppress}) {
+    auto server = make_server(0, mode);
+    server.process(1, WriteRequest{1, rec});
+    EXPECT_TRUE(server.gossip_records().empty()) << fault_mode_name(mode);
+  }
+}
+
+// ---- Read-selection rules ---------------------------------------------------
+
+std::vector<ReadReply> replies_from(
+    const std::vector<crypto::SignedRecord>& records) {
+  std::vector<ReadReply> out;
+  std::uint32_t id = 0;
+  for (const auto& r : records) {
+    ReadReply reply;
+    reply.op = 1;
+    reply.server = id++;
+    reply.has_value = true;
+    reply.record = r;
+    out.push_back(reply);
+  }
+  return out;
+}
+
+TEST(ReadRules, PlainPicksHighestTimestamp) {
+  const auto signer = test_signer();
+  const auto sel = select_plain(replies_from({signer.sign(1, 10, 100, 1),
+                                              signer.sign(1, 30, 300, 1),
+                                              signer.sign(1, 20, 200, 1)}));
+  ASSERT_TRUE(sel.has_value);
+  EXPECT_EQ(sel.record.value, 30);
+}
+
+TEST(ReadRules, PlainEmptyRepliesGiveBottom) {
+  EXPECT_FALSE(select_plain({}).has_value);
+  std::vector<ReadReply> empty_replies(3);
+  EXPECT_FALSE(select_plain(empty_replies).has_value);
+}
+
+TEST(ReadRules, PlainIsFooledByForgery) {
+  // Without verification the forged huge-timestamp record wins — this is
+  // why plain reads are only for benign failures.
+  const auto signer = test_signer();
+  auto forged = signer.sign(1, 666, 999999, 1);
+  forged.tag ^= 1;
+  const auto sel = select_plain(
+      replies_from({signer.sign(1, 10, 100, 1), forged}));
+  EXPECT_EQ(sel.record.value, 666);
+}
+
+TEST(ReadRules, DisseminationRejectsForgery) {
+  const auto signer = test_signer();
+  const crypto::Verifier verifier(signer.key());
+  auto forged = signer.sign(1, 666, 999999, 1);
+  forged.tag ^= 1;
+  const auto sel = select_dissemination(
+      replies_from({signer.sign(1, 10, 100, 1), forged}), verifier);
+  ASSERT_TRUE(sel.has_value);
+  EXPECT_EQ(sel.record.value, 10);  // forgery filtered, genuine record wins
+}
+
+TEST(ReadRules, DisseminationAcceptsStaleButGenuine) {
+  // A stale replay has a valid tag; among genuine records the highest
+  // timestamp wins, so staleness only matters if no fresher record arrives.
+  const auto signer = test_signer();
+  const crypto::Verifier verifier(signer.key());
+  const auto sel = select_dissemination(
+      replies_from({signer.sign(1, 10, 100, 1), signer.sign(1, 30, 300, 1)}),
+      verifier);
+  EXPECT_EQ(sel.record.value, 30);
+}
+
+TEST(ReadRules, DisseminationAllForgedGivesBottom) {
+  const auto signer = test_signer();
+  const crypto::Verifier verifier(signer.key());
+  auto f1 = signer.sign(1, 1, 10, 1);
+  f1.tag ^= 2;
+  auto f2 = signer.sign(1, 2, 20, 1);
+  f2.tag ^= 4;
+  EXPECT_FALSE(select_dissemination(replies_from({f1, f2}), verifier)
+                   .has_value);
+}
+
+TEST(ReadRules, MaskingRequiresKVouchers) {
+  const auto signer = test_signer();
+  const auto fresh = signer.sign(1, 30, 300, 1);
+  const auto stale = signer.sign(1, 10, 100, 1);
+  // fresh has 2 vouchers, stale has 3.
+  const auto replies = replies_from({fresh, fresh, stale, stale, stale});
+  const auto sel2 = select_masking(replies, 2);
+  ASSERT_TRUE(sel2.has_value);
+  EXPECT_EQ(sel2.record.value, 30);  // both qualify; freshest wins
+  const auto sel3 = select_masking(replies, 3);
+  ASSERT_TRUE(sel3.has_value);
+  EXPECT_EQ(sel3.record.value, 10);  // only the stale one clears k=3
+  EXPECT_EQ(sel3.vouchers, 3u);
+  EXPECT_FALSE(select_masking(replies, 4).has_value);  // nothing clears
+}
+
+TEST(ReadRules, MaskingDefeatsSubThresholdCollusion) {
+  const auto signer = test_signer();
+  const ColludePlan plan;
+  const auto genuine = signer.sign(1, 10, 100, 1);
+  // k-1 colluders agree on a forged super-fresh record; k correct servers
+  // return the genuine one.
+  std::vector<crypto::SignedRecord> records{plan.forged(1), plan.forged(1),
+                                            genuine, genuine, genuine};
+  const auto sel = select_masking(replies_from(records), 3);
+  ASSERT_TRUE(sel.has_value);
+  EXPECT_EQ(sel.record.value, 10);
+}
+
+TEST(ReadRules, MaskingOverwhelmedByKColluders) {
+  // With >= k colluders in the quorum the forged record qualifies and its
+  // huge timestamp wins: exactly the P(|Q ∩ B| >= k) failure mode.
+  const auto signer = test_signer();
+  const ColludePlan plan;
+  const auto genuine = signer.sign(1, 10, 100, 1);
+  std::vector<crypto::SignedRecord> records{plan.forged(1), plan.forged(1),
+                                            plan.forged(1), genuine, genuine,
+                                            genuine};
+  const auto sel = select_masking(replies_from(records), 3);
+  ASSERT_TRUE(sel.has_value);
+  EXPECT_EQ(sel.record.value, plan.forged(1).value);
+}
+
+TEST(ReadRules, DispatchMatchesSpecificSelectors) {
+  const auto signer = test_signer();
+  const crypto::Verifier verifier(signer.key());
+  const auto replies = replies_from({signer.sign(1, 5, 50, 1)});
+  EXPECT_EQ(select(ReadMode::kPlain, replies, nullptr, 1).record.value, 5);
+  EXPECT_EQ(select(ReadMode::kDissemination, replies, &verifier, 1)
+                .record.value, 5);
+  EXPECT_EQ(select(ReadMode::kMasking, replies, nullptr, 1).record.value, 5);
+  EXPECT_THROW(select(ReadMode::kDissemination, replies, nullptr, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pqs::replica

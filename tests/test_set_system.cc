@@ -1,0 +1,182 @@
+#include "quorum/set_system.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "quorum/singleton.h"
+
+namespace pqs::quorum {
+namespace {
+
+SetSystem majority3of5() {
+  // All 3-subsets of {0..4}: the majority system over 5 servers.
+  return SetSystem::all_subsets(5, 3);
+}
+
+TEST(SetSystem, AllSubsetsCount) {
+  EXPECT_EQ(SetSystem::all_subsets(5, 3).quorum_count(), 10u);
+  EXPECT_EQ(SetSystem::all_subsets(6, 2).quorum_count(), 15u);
+  EXPECT_EQ(SetSystem::all_subsets(4, 4).quorum_count(), 1u);
+}
+
+TEST(SetSystem, MajorityIsStrict) {
+  const auto sys = majority3of5();
+  EXPECT_TRUE(sys.is_strict());
+  EXPECT_EQ(sys.min_pairwise_intersection(), 1u);
+  EXPECT_DOUBLE_EQ(sys.intersection_probability(), 1.0);
+}
+
+TEST(SetSystem, HalfSubsetsAreNotStrict) {
+  const auto sys = SetSystem::all_subsets(6, 3);
+  EXPECT_FALSE(sys.is_strict());
+  EXPECT_EQ(sys.min_pairwise_intersection(), 0u);
+  // P(disjoint) for two random 3-subsets of 6: C(3,3)/C(6,3) = 1/20.
+  EXPECT_NEAR(sys.intersection_probability(), 1.0 - 0.05, 1e-12);
+}
+
+TEST(SetSystem, LoadOfUniformMajority) {
+  // Every server is in C(4,2)=6 of 10 quorums => load 0.6 = q/n.
+  EXPECT_NEAR(majority3of5().load(), 0.6, 1e-12);
+}
+
+TEST(SetSystem, LoadOfSkewedStrategy) {
+  // Two quorums share server 0; weight 0.75/0.25 puts 1.0 load on it.
+  SetSystem sys(3, {{0, 1}, {0, 2}}, {0.75, 0.25});
+  EXPECT_DOUBLE_EQ(sys.server_load(0), 1.0);
+  EXPECT_DOUBLE_EQ(sys.server_load(1), 0.75);
+  EXPECT_DOUBLE_EQ(sys.server_load(2), 0.25);
+  EXPECT_DOUBLE_EQ(sys.load(), 1.0);
+}
+
+TEST(SetSystem, FaultToleranceMajority) {
+  // Majority 3-of-5: killing any 3 servers disables all quorums; 2 do not.
+  EXPECT_EQ(majority3of5().fault_tolerance(), 3u);
+}
+
+TEST(SetSystem, FaultToleranceGridLike) {
+  // 2x2 grid quorums: {r0,c0}={0,1,2}, {r0,c1}={0,1,3}, {r1,c0}={2,3,0}...
+  // Explicit: rows {0,1},{2,3}; cols {0,2},{1,3}.
+  SetSystem sys(4, {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}});
+  EXPECT_EQ(sys.fault_tolerance(), 2u);
+}
+
+TEST(SetSystem, DisseminationMaskingPredicates) {
+  const auto sys = SetSystem::all_subsets(5, 4);  // pairwise overlap >= 3
+  EXPECT_EQ(sys.min_pairwise_intersection(), 3u);
+  EXPECT_TRUE(sys.is_dissemination(1));   // overlap >= 2, A = 2 > 1
+  EXPECT_FALSE(sys.is_dissemination(2));  // overlap >= 3 holds but A = 2 !> 2
+  EXPECT_TRUE(sys.is_masking(1));         // overlap >= 3, A = 2 > 1
+  EXPECT_FALSE(sys.is_masking(2));        // needs overlap >= 5
+}
+
+TEST(SetSystem, FailureProbabilitySingletonLike) {
+  SetSystem sys(3, {{0}});
+  EXPECT_DOUBLE_EQ(sys.failure_probability(0.3), 0.3);
+}
+
+TEST(SetSystem, FailureProbabilityTwoDisjointSingletons) {
+  SetSystem sys(2, {{0}, {1}});
+  // Fails iff both crash.
+  EXPECT_NEAR(sys.failure_probability(0.3), 0.09, 1e-12);
+}
+
+TEST(SetSystem, FailureProbabilityMatchesEnumeration) {
+  const auto sys = majority3of5();
+  const double p = 0.4;
+  // Enumerate all 2^5 crash patterns.
+  double fail = 0.0;
+  for (int mask = 0; mask < 32; ++mask) {
+    std::vector<bool> alive(5);
+    double prob = 1.0;
+    for (int u = 0; u < 5; ++u) {
+      const bool dead = mask & (1 << u);
+      alive[u] = !dead;
+      prob *= dead ? p : (1 - p);
+    }
+    if (!sys.has_live_quorum(alive)) fail += prob;
+  }
+  EXPECT_NEAR(sys.failure_probability(p), fail, 1e-12);
+}
+
+TEST(SetSystem, SampleFollowsWeights) {
+  SetSystem sys(3, {{0}, {1}, {2}}, {0.5, 0.3, 0.2});
+  math::Rng rng(71);
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[sys.sample(rng)[0]];
+  EXPECT_NEAR(counts[0] / double(kSamples), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / double(kSamples), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / double(kSamples), 0.2, 0.01);
+}
+
+TEST(SetSystem, ValidationErrors) {
+  EXPECT_THROW(SetSystem(3, {}), std::invalid_argument);
+  EXPECT_THROW(SetSystem(3, {{3}}), std::invalid_argument);  // out of range
+  EXPECT_THROW(SetSystem(3, {{0}, {1}}, {0.6, 0.6}), std::invalid_argument);
+  EXPECT_THROW(SetSystem(3, {{0}}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(SetSystem(3, {{0}, {1}}, {1.5, -0.5}), std::invalid_argument);
+}
+
+// --- Section 3.2: why strict measures break, and how the probabilistic
+// measures resist inflation -----------------------------------------------
+
+// Build <Q', w'> from the paper's counterexample: take a majority system and
+// add every singleton with total weight gamma << eps.
+SetSystem inflated_majority(double gamma) {
+  auto base = SetSystem::all_subsets(5, 3);
+  std::vector<Quorum> quorums = base.quorums();
+  std::vector<double> weights(quorums.size(),
+                              (1.0 - gamma) / double(quorums.size()));
+  for (ServerId u = 0; u < 5; ++u) {
+    quorums.push_back({u});
+    weights.push_back(gamma / 5.0);
+  }
+  return SetSystem(5, std::move(quorums), std::move(weights));
+}
+
+TEST(SetSystem, InflationRaisesStrictFaultTolerance) {
+  const auto inflated = inflated_majority(1e-6);
+  // Naive Definition 2.5 on the inflated system: only killing all 5 servers
+  // hits every singleton.
+  EXPECT_EQ(inflated.fault_tolerance(), 5u);
+  // And the naive failure probability is an absurd p^5.
+  EXPECT_NEAR(inflated.failure_probability(0.5), std::pow(0.5, 5), 1e-9);
+}
+
+TEST(SetSystem, ProbabilisticMeasuresResistInflation) {
+  const auto inflated = inflated_majority(1e-6);
+  // eps' ~ 2*gamma*(prob single doesn't meet other)... tiny; high-quality
+  // quorums (delta = sqrt(eps')) exclude the singletons: each singleton
+  // meets a random majority quorum only w.p. 3/5 << 1 - delta.
+  const double eps = 1.0 - inflated.intersection_probability();
+  EXPECT_LT(eps, 1e-5);
+  const auto hq = inflated.high_quality_indices(std::sqrt(eps));
+  EXPECT_EQ(hq.size(), 10u);  // just the majority quorums
+  // So the probabilistic fault tolerance is the honest 3, not 5.
+  EXPECT_EQ(inflated.probabilistic_fault_tolerance(), 3u);
+  // And the probabilistic failure probability matches the majority system.
+  const auto honest = SetSystem::all_subsets(5, 3);
+  EXPECT_NEAR(inflated.probabilistic_failure_probability(0.5),
+              honest.failure_probability(0.5), 1e-9);
+}
+
+TEST(SetSystem, HighQualityAllForStrict) {
+  // In any strict system every quorum is high quality for any delta
+  // (intersection probability is 1; delta of 1e-9 absorbs the floating
+  // accumulation of the weight sums).
+  const auto sys = majority3of5();
+  EXPECT_EQ(sys.high_quality_indices(1e-9).size(), sys.quorum_count());
+}
+
+TEST(SetSystem, QuorumQualityValues) {
+  // For all 3-subsets of 6, quality of any quorum = 1 - C(3,3)/C(6,3) = 0.95.
+  const auto sys = SetSystem::all_subsets(6, 3);
+  for (std::size_t i = 0; i < sys.quorum_count(); ++i) {
+    EXPECT_NEAR(sys.quorum_quality(i), 0.95, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pqs::quorum

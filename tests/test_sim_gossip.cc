@@ -1,0 +1,130 @@
+// Diffusion over the simulated network: GossipPush messages scheduled by
+// SimCluster::start_gossip, flowing through the same lossy network as
+// client traffic.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/epsilon.h"
+#include "core/random_subset_system.h"
+#include "quorum/threshold.h"
+#include "replica/sim_cluster.h"
+
+namespace pqs::replica {
+namespace {
+
+SimCluster::Config coarse_config(std::uint32_t n, std::uint32_t q,
+                                 std::uint64_t seed, bool verify) {
+  SimCluster::Config cfg;
+  cfg.quorums = std::make_shared<core::RandomSubsetSystem>(n, q);
+  cfg.mode = ReadMode::kDissemination;
+  cfg.latency = {.base = 100, .jitter_mean = 50, .drop_probability = 0.0};
+  cfg.seed = seed;
+  cfg.verify_gossip = verify;
+  return cfg;
+}
+
+TEST(SimGossip, SpreadsWritesBetweenOperations) {
+  const std::uint32_t n = 32, q = 6;  // coarse: eps ~ 0.26
+  SimCluster cluster(coarse_config(n, q, 1, false));
+  cluster.start_gossip(/*period=*/500, /*fanout=*/2);
+  cluster.write_sync(1, 42);
+  // Let several gossip periods elapse in virtual time.
+  cluster.simulator().run_until(cluster.simulator().now() + 10000);
+  EXPECT_GE(cluster.gossip_rounds(), 10u);
+  // Every correct server now stores the value despite q = 6 of 32.
+  int holders = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const auto* rec = cluster.server(u).find(1);
+    if (rec != nullptr && rec->value == 42) ++holders;
+  }
+  EXPECT_EQ(holders, static_cast<int>(n));
+  // So reads are always fresh even though quorum pairs often miss.
+  for (int i = 0; i < 50; ++i) {
+    const auto r = cluster.read_sync(1);
+    ASSERT_TRUE(r.selection.has_value);
+    ASSERT_EQ(r.selection.record.value, 42);
+  }
+}
+
+TEST(SimGossip, ReducesStalenessUnderContinuousWrites) {
+  const std::uint32_t n = 32, q = 6;
+  const double eps = core::nonintersection_exact(n, q);
+  ASSERT_GT(eps, 0.2);
+
+  auto measure = [&](bool gossip, std::uint64_t seed) {
+    SimCluster cluster(coarse_config(n, q, seed, false));
+    if (gossip) cluster.start_gossip(200, 2);
+    int stale = 0;
+    std::int64_t value = 0;
+    for (int i = 0; i < 150; ++i) {
+      cluster.write_sync(1, ++value);
+      // Idle time between write and read lets the epidemic run.
+      cluster.simulator().run_until(cluster.simulator().now() + 2000);
+      const auto r = cluster.read_sync(1);
+      if (!(r.selection.has_value && r.selection.record.value == value)) {
+        ++stale;
+      }
+    }
+    return stale;
+  };
+  const int without = measure(false, 2);
+  const int with = measure(true, 3);
+  EXPECT_GT(without, 15);  // ~ eps * 150 ~ 39
+  EXPECT_LE(with, 2);
+}
+
+TEST(SimGossip, VerifiedGossipRejectsForgedRecordsOverNetwork) {
+  const std::uint32_t n = 32, q = 8, b = 6;
+  auto cfg = coarse_config(n, q, 4, /*verify=*/true);
+  SimCluster cluster(cfg, FaultPlan::prefix(n, b, FaultMode::kForge));
+  cluster.start_gossip(500, 2);
+  std::int64_t value = 0;
+  std::uint64_t last_ts = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto w = cluster.write_sync(1, ++value);
+    last_ts = w.timestamp;
+    cluster.simulator().run_until(cluster.simulator().now() + 3000);
+  }
+  for (std::uint32_t u = b; u < n; ++u) {  // the correct servers
+    const auto* rec = cluster.server(u).find(1);
+    if (rec != nullptr) {
+      EXPECT_LE(rec->timestamp, last_ts) << "server " << u << " poisoned";
+    }
+  }
+}
+
+TEST(SimGossip, UnverifiedGossipIsPoisonedOverNetwork) {
+  const std::uint32_t n = 32, q = 8, b = 6;
+  auto cfg = coarse_config(n, q, 5, /*verify=*/false);
+  SimCluster cluster(cfg, FaultPlan::prefix(n, b, FaultMode::kForge));
+  cluster.start_gossip(500, 2);
+  std::int64_t value = 0;
+  std::uint64_t last_ts = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto w = cluster.write_sync(1, ++value);
+    last_ts = w.timestamp;
+    cluster.simulator().run_until(cluster.simulator().now() + 3000);
+  }
+  int poisoned = 0;
+  for (std::uint32_t u = b; u < n; ++u) {
+    const auto* rec = cluster.server(u).find(1);
+    if (rec != nullptr && rec->timestamp > last_ts) ++poisoned;
+  }
+  EXPECT_GT(poisoned, 0);
+}
+
+TEST(SimGossip, ConfigValidation) {
+  SimCluster::Config cfg;
+  cfg.quorums = std::make_shared<quorum::ThresholdSystem>(
+      quorum::ThresholdSystem::majority(5));
+  SimCluster cluster(cfg);
+  EXPECT_THROW(cluster.start_gossip(0, 1), std::invalid_argument);
+  EXPECT_THROW(cluster.start_gossip(100, 0), std::invalid_argument);
+  EXPECT_THROW(cluster.start_gossip(100, 5), std::invalid_argument);
+  cluster.start_gossip(100, 2);
+  EXPECT_THROW(cluster.start_gossip(100, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pqs::replica

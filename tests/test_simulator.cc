@@ -1,0 +1,172 @@
+#include "sim/simulator.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "sim/network.h"
+
+namespace pqs::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule(7, chain);
+  };
+  sim.schedule(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 28);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(50, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunWhileStopsAtPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(i, [&] { ++count; });
+  const bool ok = sim.run_while([&] { return count < 4; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, RunWhileReportsExhaustion) {
+  Simulator sim;
+  sim.schedule(1, [] {});
+  const bool ok = sim.run_while([] { return true; });
+  EXPECT_FALSE(ok);  // queue drained without satisfying the predicate
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Network, DeliversWithLatency) {
+  Simulator sim;
+  LatencyModel lat{.base = 100, .jitter_mean = 0, .drop_probability = 0.0};
+  Network<std::string> net(sim, lat, math::Rng(1));
+  std::vector<std::pair<Time, std::string>> received;
+  net.register_node(0, [](NodeId, const std::string&) {});
+  net.register_node(1, [&](NodeId from, const std::string& m) {
+    EXPECT_EQ(from, 0u);
+    received.emplace_back(sim.now(), m);
+  });
+  net.send(0, 1, "hello");
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, 100);
+  EXPECT_EQ(received[0].second, "hello");
+}
+
+TEST(Network, JitterVariesLatency) {
+  Simulator sim;
+  LatencyModel lat{.base = 100, .jitter_mean = 50, .drop_probability = 0.0};
+  Network<int> net(sim, lat, math::Rng(2));
+  std::vector<Time> arrivals;
+  net.register_node(0, [](NodeId, int) {});
+  net.register_node(1, [&](NodeId, int) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 200; ++i) net.send(0, 1, i);
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  Time min = arrivals[0], max = arrivals[0], sum = 0;
+  for (Time t : arrivals) {
+    min = std::min(min, t);
+    max = std::max(max, t);
+    sum += t;
+  }
+  EXPECT_GE(min, 100);
+  EXPECT_GT(max, min);
+  EXPECT_NEAR(static_cast<double>(sum) / 200.0, 150.0, 15.0);
+}
+
+TEST(Network, DropsMessages) {
+  Simulator sim;
+  LatencyModel lat{.base = 10, .jitter_mean = 0, .drop_probability = 0.5};
+  Network<int> net(sim, lat, math::Rng(3));
+  int received = 0;
+  net.register_node(0, [](NodeId, int) {});
+  net.register_node(1, [&](NodeId, int) { ++received; });
+  for (int i = 0; i < 2000; ++i) net.send(0, 1, i);
+  sim.run();
+  EXPECT_NEAR(received, 1000, 120);
+  EXPECT_EQ(net.messages_sent(), 2000u);
+  EXPECT_EQ(net.messages_dropped() + net.messages_delivered(), 2000u);
+}
+
+TEST(Network, PartitionsSeverBothDirections) {
+  Simulator sim;
+  Network<int> net(sim, LatencyModel{.base = 1, .jitter_mean = 0},
+                   math::Rng(4));
+  int at0 = 0, at1 = 0, at2 = 0;
+  net.register_node(0, [&](NodeId, int) { ++at0; });
+  net.register_node(1, [&](NodeId, int) { ++at1; });
+  net.register_node(2, [&](NodeId, int) { ++at2; });
+  net.partition({0}, {1});
+  net.send(0, 1, 1);
+  net.send(1, 0, 1);
+  net.send(0, 2, 1);  // unaffected pair
+  sim.run();
+  EXPECT_EQ(at0, 0);
+  EXPECT_EQ(at1, 0);
+  EXPECT_EQ(at2, 1);
+  net.heal_partitions();
+  net.send(0, 1, 1);
+  sim.run();
+  EXPECT_EQ(at1, 1);
+}
+
+TEST(Network, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    Network<int> net(sim, LatencyModel{.base = 5, .jitter_mean = 20},
+                     math::Rng(seed));
+    std::vector<Time> arrivals;
+    net.register_node(0, [](NodeId, int) {});
+    net.register_node(1, [&](NodeId, int) { arrivals.push_back(sim.now()); });
+    for (int i = 0; i < 50; ++i) net.send(0, 1, i);
+    sim.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace pqs::sim

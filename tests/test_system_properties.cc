@@ -1,0 +1,176 @@
+// Cross-cutting invariants that every QuorumSystem implementation — strict
+// or probabilistic — must satisfy. One parameterized suite runs the whole
+// menagerie through the same checks, which is what keeps the polymorphic
+// interface honest as constructions are added.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/monte_carlo.h"
+#include "core/random_subset_system.h"
+#include "math/rng.h"
+#include "math/sampling.h"
+#include "quorum/grid.h"
+#include "quorum/quorum_system.h"
+#include "quorum/set_system.h"
+#include "quorum/singleton.h"
+#include "quorum/threshold.h"
+#include "quorum/wall.h"
+#include "quorum/weighted.h"
+
+namespace pqs {
+namespace {
+
+using SystemFactory = std::shared_ptr<const quorum::QuorumSystem> (*)();
+
+std::shared_ptr<const quorum::QuorumSystem> make_majority() {
+  return std::make_shared<quorum::ThresholdSystem>(
+      quorum::ThresholdSystem::majority(21));
+}
+std::shared_ptr<const quorum::QuorumSystem> make_dissem_threshold() {
+  return std::make_shared<quorum::ThresholdSystem>(
+      quorum::ThresholdSystem::dissemination(22, 5));
+}
+std::shared_ptr<const quorum::QuorumSystem> make_grid() {
+  return std::make_shared<quorum::GridSystem>(quorum::GridSystem::square(25));
+}
+std::shared_ptr<const quorum::QuorumSystem> make_byz_grid() {
+  return std::make_shared<quorum::GridSystem>(
+      quorum::GridSystem::masking(36, 3));
+}
+std::shared_ptr<const quorum::QuorumSystem> make_singleton() {
+  return std::make_shared<quorum::SingletonSystem>(9, 4);
+}
+std::shared_ptr<const quorum::QuorumSystem> make_random_subset() {
+  return std::make_shared<core::RandomSubsetSystem>(30, 8);
+}
+std::shared_ptr<const quorum::QuorumSystem> make_random_masking() {
+  return std::make_shared<core::RandomSubsetSystem>(
+      core::RandomSubsetSystem::with_byzantine(30, 15, 3,
+                                               core::Regime::kMasking));
+}
+std::shared_ptr<const quorum::QuorumSystem> make_wall() {
+  return std::make_shared<quorum::WallSystem>(
+      quorum::WallSystem({6, 5, 4, 3}));
+}
+std::shared_ptr<const quorum::QuorumSystem> make_weighted() {
+  return std::make_shared<quorum::WeightedVotingSystem>(
+      quorum::WeightedVotingSystem({4, 3, 2, 2, 1, 1, 1, 1, 1}, 9));
+}
+std::shared_ptr<const quorum::QuorumSystem> make_explicit() {
+  // Small enough for SetSystem's exact inclusion-exclusion (15 quorums).
+  return std::make_shared<quorum::SetSystem>(
+      quorum::SetSystem::all_subsets(6, 4));
+}
+
+class SystemInvariants : public ::testing::TestWithParam<SystemFactory> {};
+
+TEST_P(SystemInvariants, SamplesAreValidQuorums) {
+  const auto sys = GetParam()();
+  math::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = sys->sample(rng);
+    ASSERT_GE(q.size(), 1u);
+    ASSERT_GE(q.size(), sys->min_quorum_size());
+    ASSERT_TRUE(std::is_sorted(q.begin(), q.end()));
+    ASSERT_TRUE(std::adjacent_find(q.begin(), q.end()) == q.end());
+    ASSERT_LT(q.back(), sys->universe_size());
+  }
+}
+
+TEST_P(SystemInvariants, LoadIsAProbabilityAboveTheoreticalFloors) {
+  const auto sys = GetParam()();
+  const double load = sys->load();
+  EXPECT_GT(load, 0.0);
+  EXPECT_LE(load, 1.0);
+  // Lemma 3.10 applied to the shipped strategy: L_w >= E|Q| / n, and the
+  // smallest quorum lower-bounds E|Q|.
+  EXPECT_GE(load + 0.02,  // MC-estimated loads get small slack
+            static_cast<double>(sys->min_quorum_size()) /
+                sys->universe_size());
+}
+
+TEST_P(SystemInvariants, AliveExtremes) {
+  const auto sys = GetParam()();
+  EXPECT_TRUE(sys->has_live_quorum(
+      std::vector<bool>(sys->universe_size(), true)));
+  EXPECT_FALSE(sys->has_live_quorum(
+      std::vector<bool>(sys->universe_size(), false)));
+}
+
+TEST_P(SystemInvariants, SampledQuorumIsAliveWhenItsMembersAre) {
+  const auto sys = GetParam()();
+  math::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto q = sys->sample(rng);
+    std::vector<bool> alive(sys->universe_size(), false);
+    for (auto u : q) alive[u] = true;
+    EXPECT_TRUE(sys->has_live_quorum(alive));
+  }
+}
+
+TEST_P(SystemInvariants, FewerThanFaultToleranceCrashesNeverDisable) {
+  // A(Q) is the size of the smallest disabling set, so *no* placement of
+  // A(Q) - 1 crashes may disable the system.
+  const auto sys = GetParam()();
+  const std::uint32_t a = sys->fault_tolerance();
+  ASSERT_GE(a, 1u);
+  math::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> alive(sys->universe_size(), true);
+    const auto dead = math::sample_without_replacement(
+        sys->universe_size(), a - 1, rng);
+    for (auto u : dead) alive[u] = false;
+    ASSERT_TRUE(sys->has_live_quorum(alive)) << sys->name();
+  }
+  // Prefix placements too (the adversary the closed forms reason about).
+  std::vector<bool> alive(sys->universe_size(), true);
+  for (std::uint32_t u = 0; u + 1 < a; ++u) alive[u] = false;
+  EXPECT_TRUE(sys->has_live_quorum(alive));
+}
+
+TEST_P(SystemInvariants, FailureProbabilityShape) {
+  const auto sys = GetParam()();
+  EXPECT_NEAR(sys->failure_probability(0.0), 0.0, 5e-3);
+  EXPECT_NEAR(sys->failure_probability(1.0), 1.0, 5e-3);
+  double prev = -1e-3;
+  for (double p = 0.0; p <= 1.001; p += 0.125) {
+    const double f = sys->failure_probability(std::min(p, 1.0));
+    EXPECT_GE(f + 5e-3, prev) << sys->name() << " at p=" << p;
+    prev = f;
+  }
+}
+
+TEST_P(SystemInvariants, FailureProbabilityMatchesMonteCarlo) {
+  const auto sys = GetParam()();
+  math::Rng rng(7);
+  for (double p : {0.25, 0.6}) {
+    const auto est = core::estimate_failure_probability(*sys, p, 60000, rng);
+    EXPECT_NEAR(est.estimate(), sys->failure_probability(p), 0.02)
+        << sys->name() << " at p=" << p;
+  }
+}
+
+TEST_P(SystemInvariants, MeasuredLoadMatchesReportedLoad) {
+  const auto sys = GetParam()();
+  math::Rng rng(9);
+  EXPECT_NEAR(core::estimate_load(*sys, 60000, rng), sys->load(), 0.02)
+      << sys->name();
+}
+
+TEST_P(SystemInvariants, NameIsNonEmptyAndStable) {
+  const auto sys = GetParam()();
+  EXPECT_FALSE(sys->name().empty());
+  EXPECT_EQ(sys->name(), GetParam()()->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SystemInvariants,
+    ::testing::Values(&make_majority, &make_dissem_threshold, &make_grid,
+                      &make_byz_grid, &make_singleton, &make_random_subset,
+                      &make_random_masking, &make_wall, &make_weighted,
+                      &make_explicit));
+
+}  // namespace
+}  // namespace pqs

@@ -1,0 +1,146 @@
+#include "quorum/threshold.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "math/sampling.h"
+#include "quorum/measures.h"
+
+namespace pqs::quorum {
+namespace {
+
+TEST(Threshold, MajoritySizes) {
+  EXPECT_EQ(ThresholdSystem::majority(5).min_quorum_size(), 3u);
+  EXPECT_EQ(ThresholdSystem::majority(6).min_quorum_size(), 4u);  // ceil(7/2)
+  EXPECT_EQ(ThresholdSystem::majority(100).min_quorum_size(), 51u);
+  EXPECT_EQ(ThresholdSystem::majority(25).min_quorum_size(), 13u);  // Table 2
+  EXPECT_EQ(ThresholdSystem::majority(900).min_quorum_size(), 451u);
+}
+
+TEST(Threshold, RejectsNonIntersecting) {
+  EXPECT_THROW(ThresholdSystem(10, 5), std::invalid_argument);  // 2q = n
+  EXPECT_THROW(ThresholdSystem(10, 0), std::invalid_argument);
+  EXPECT_THROW(ThresholdSystem(10, 11), std::invalid_argument);
+  EXPECT_NO_THROW(ThresholdSystem(10, 6));
+}
+
+TEST(Threshold, DisseminationSizesMatchTable3) {
+  // Quorum size ceil((n+b+1)/2) for the (n, b) rows of Table 3.
+  struct Row { std::uint32_t n, b, size, ft; };
+  for (auto [n, b, size, ft] : {Row{25, 2, 14, 12}, Row{100, 4, 53, 48},
+                                Row{400, 9, 205, 196}, Row{625, 12, 319, 307},
+                                Row{900, 14, 458, 443}}) {
+    const auto sys = ThresholdSystem::dissemination(n, b);
+    EXPECT_EQ(sys.min_quorum_size(), size) << "n=" << n;
+    EXPECT_EQ(sys.fault_tolerance(), ft) << "n=" << n;
+    EXPECT_GE(sys.min_pairwise_intersection(), b + 1);
+  }
+}
+
+TEST(Threshold, MaskingSizesMatchTable4) {
+  struct Row { std::uint32_t n, b, size, ft; };
+  for (auto [n, b, size, ft] : {Row{25, 2, 15, 11}, Row{100, 4, 55, 46},
+                                Row{225, 7, 120, 106}, Row{400, 9, 210, 191},
+                                Row{625, 12, 325, 301}, Row{900, 14, 465, 436}}) {
+    const auto sys = ThresholdSystem::masking(n, b);
+    EXPECT_EQ(sys.min_quorum_size(), size) << "n=" << n;
+    EXPECT_EQ(sys.fault_tolerance(), ft) << "n=" << n;
+    EXPECT_GE(sys.min_pairwise_intersection(), 2 * b + 1);
+  }
+}
+
+TEST(Threshold, ResilienceCapsEnforced) {
+  EXPECT_THROW(ThresholdSystem::dissemination(10, 4), std::invalid_argument);
+  EXPECT_NO_THROW(ThresholdSystem::dissemination(10, 3));
+  EXPECT_THROW(ThresholdSystem::masking(17, 5), std::invalid_argument);
+  EXPECT_NO_THROW(ThresholdSystem::masking(17, 4));
+}
+
+TEST(Threshold, SampleRespectsSizeAndUniverse) {
+  const auto sys = ThresholdSystem::majority(31);
+  math::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto q = sys.sample(rng);
+    EXPECT_EQ(q.size(), sys.min_quorum_size());
+    EXPECT_TRUE(std::is_sorted(q.begin(), q.end()));
+    EXPECT_LT(q.back(), 31u);
+  }
+}
+
+TEST(Threshold, SampledPairsAlwaysIntersect) {
+  // Strictness check by sampling: 2q > n forces intersection.
+  const auto sys = ThresholdSystem::majority(20);
+  math::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = sys.sample(rng);
+    const auto b = sys.sample(rng);
+    ASSERT_TRUE(math::sorted_intersects(a, b));
+  }
+}
+
+TEST(Threshold, DisseminationOverlapObserved) {
+  const auto sys = ThresholdSystem::dissemination(30, 5);
+  math::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = sys.sample(rng);
+    const auto b = sys.sample(rng);
+    ASSERT_GE(math::sorted_intersection_size(a, b), 6u);
+  }
+}
+
+TEST(Threshold, LoadIsQOverN) {
+  const auto sys = ThresholdSystem::majority(100);
+  EXPECT_DOUBLE_EQ(sys.load(), 0.51);
+}
+
+TEST(Threshold, FaultToleranceIdentity) {
+  for (std::uint32_t n : {11u, 25u, 100u}) {
+    const auto sys = ThresholdSystem::majority(n);
+    EXPECT_EQ(sys.fault_tolerance(), n - sys.min_quorum_size() + 1);
+  }
+}
+
+TEST(Threshold, FailureProbabilityHalfAtHalfOdd) {
+  // For odd n and p = 1/2 the majority system fails w.p. exactly
+  // P(Bin(n,1/2) > n - ceil((n+1)/2)) = P(Bin > floor(n/2)) = 1/2.
+  const auto sys = ThresholdSystem::majority(25);
+  EXPECT_NEAR(sys.failure_probability(0.5), 0.5, 1e-12);
+}
+
+TEST(Threshold, FailureProbabilityMonotoneInP) {
+  const auto sys = ThresholdSystem::majority(49);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double f = sys.failure_probability(p);
+    EXPECT_GE(f + 1e-12, prev);
+    prev = f;
+  }
+  EXPECT_NEAR(sys.failure_probability(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(sys.failure_probability(1.0), 1.0, 1e-12);
+}
+
+TEST(Threshold, HasLiveQuorumCountsAlive) {
+  const auto sys = ThresholdSystem(5, 3);
+  EXPECT_TRUE(sys.has_live_quorum({true, true, true, false, false}));
+  EXPECT_FALSE(sys.has_live_quorum({true, true, false, false, false}));
+}
+
+// Parameterized: the load lower bound max(1/c, c/n) from [NW98] is met with
+// equality at c = majority size only asymptotically; but L >= 1/sqrt(n)
+// always.
+class ThresholdLoadBound : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThresholdLoadBound, NaorWoolFloor) {
+  const std::uint32_t n = GetParam();
+  const auto sys = ThresholdSystem::majority(n);
+  EXPECT_GE(sys.load() + 1e-12, 1.0 / std::sqrt(static_cast<double>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThresholdLoadBound,
+                         ::testing::Values(4u, 9u, 25u, 100u, 225u, 400u,
+                                           625u, 900u));
+
+}  // namespace
+}  // namespace pqs::quorum

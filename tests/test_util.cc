@@ -1,0 +1,95 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+#include "util/table.h"
+
+namespace pqs::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.row().cell("alpha").cell(1);
+  t.row().cell("beta-longer").cell(22);
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // All lines equal width (alignment).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(out.find("beta-longer"), std::string::npos);
+}
+
+TEST(TextTable, NumericFormatting) {
+  TextTable t({"a", "b", "c"});
+  t.row().cell(3.14159, 2).cell_sci(0.000123, 2).cell(std::size_t{7});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("1.23e-04"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(TextTable, IndentPrefixesEveryLine) {
+  TextTable t({"x"});
+  t.row().cell(1);
+  const std::string out = t.render(4);
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.substr(0, 4), "    ");
+  }
+}
+
+TEST(TextTable, ShortRowsPadWithEmptyCells) {
+  TextTable t({"a", "b"});
+  t.row().cell("only-one");
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Fixed, FormatsPrecision) {
+  EXPECT_EQ(fixed(1.5, 0), "2");  // rounds
+  EXPECT_EQ(fixed(1.25, 2), "1.25");
+  EXPECT_EQ(sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"k", "v"});
+  csv.row({"plain", "with,comma"});
+  csv.row({"with\"quote", "with\nnewline"});
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("k,v\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\nnewline\""), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  banner(os, "Table 9");
+  EXPECT_NE(os.str().find("==== Table 9 ===="), std::string::npos);
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    PQS_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Check, ThrowsLogicError) {
+  EXPECT_THROW(PQS_CHECK(false), std::logic_error);
+  EXPECT_NO_THROW(PQS_CHECK(true));
+}
+
+}  // namespace
+}  // namespace pqs::util

@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/monte_carlo.h"
+#include "math/rng.h"
+#include "math/sampling.h"
+#include "quorum/threshold.h"
+#include "quorum/wall.h"
+#include "quorum/weighted.h"
+
+namespace pqs::quorum {
+namespace {
+
+// ---- Weighted voting [Gif79] ------------------------------------------------
+
+TEST(Weighted, MajorityEquivalence) {
+  const auto w = WeightedVotingSystem::majority(9);
+  const auto t = ThresholdSystem::majority(9);
+  EXPECT_EQ(w.min_quorum_size(), t.min_quorum_size());
+  EXPECT_EQ(w.fault_tolerance(), t.fault_tolerance());
+  for (double p : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(w.failure_probability(p), t.failure_probability(p), 1e-10);
+  }
+}
+
+TEST(Weighted, RejectsNonIntersectingThreshold) {
+  EXPECT_THROW(WeightedVotingSystem({1, 1, 1, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(WeightedVotingSystem({1, 1, 1, 1}, 5), std::invalid_argument);
+  EXPECT_THROW(WeightedVotingSystem({1, 0, 1}, 2), std::invalid_argument);
+  EXPECT_NO_THROW(WeightedVotingSystem({1, 1, 1, 1}, 3));
+}
+
+TEST(Weighted, SampleReachesThresholdMinimally) {
+  const WeightedVotingSystem sys({5, 1, 1, 1, 1, 1}, 6);
+  math::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = sys.sample(rng);
+    std::uint32_t total = 0;
+    for (auto u : q) total += sys.votes()[u];
+    EXPECT_GE(total, 6u);
+    // Prefix-minimality: dropping the largest-vote member of the sampled
+    // permutation prefix must fall below the threshold. We can't recover
+    // the permutation, but the total can never exceed T - 1 + max_vote.
+    EXPECT_LE(total, 6u - 1 + 5);
+  }
+}
+
+TEST(Weighted, SampledPairsIntersect) {
+  const WeightedVotingSystem sys({3, 2, 2, 1, 1, 1}, 6);  // V=10, T=6
+  math::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = sys.sample(rng);
+    const auto b = sys.sample(rng);
+    ASSERT_TRUE(math::sorted_intersects(a, b));
+  }
+}
+
+TEST(Weighted, MinQuorumGreedy) {
+  // V = 12, T = 7: greedy 5+4 = 9 >= 7 with 2 servers.
+  const WeightedVotingSystem sys({5, 4, 1, 1, 1}, 7);
+  EXPECT_EQ(sys.min_quorum_size(), 2u);
+}
+
+TEST(Weighted, FaultToleranceGreedy) {
+  // V = 12, T = 7: kill votes >= 12-7+1 = 6: server 0 (5) + server 1 (4)
+  // = 2 servers.
+  const WeightedVotingSystem sys({5, 4, 1, 1, 1}, 7);
+  EXPECT_EQ(sys.fault_tolerance(), 2u);
+  // All-unit votes: need n - T + 1 servers.
+  const WeightedVotingSystem units({1, 1, 1, 1, 1}, 3);
+  EXPECT_EQ(units.fault_tolerance(), 3u);
+}
+
+TEST(Weighted, FailureProbabilityMatchesEnumeration) {
+  const WeightedVotingSystem sys({3, 2, 2, 1, 1}, 5);  // V=9, T=5
+  const double p = 0.35;
+  double expected = 0.0;
+  for (int mask = 0; mask < 32; ++mask) {
+    std::uint32_t votes = 0;
+    double prob = 1.0;
+    for (int u = 0; u < 5; ++u) {
+      if (mask & (1 << u)) {
+        votes += sys.votes()[u];
+        prob *= 1.0 - p;
+      } else {
+        prob *= p;
+      }
+    }
+    if (votes < sys.threshold()) expected += prob;
+  }
+  EXPECT_NEAR(sys.failure_probability(p), expected, 1e-12);
+}
+
+TEST(Weighted, FailureProbabilityMatchesMonteCarlo) {
+  const WeightedVotingSystem sys({4, 3, 2, 2, 1, 1, 1}, 8);
+  math::Rng rng(7);
+  const auto est = core::estimate_failure_probability(sys, 0.4, 100000, rng);
+  EXPECT_TRUE(est.wilson(4.4).contains(sys.failure_probability(0.4)))
+      << est.estimate() << " vs " << sys.failure_probability(0.4);
+}
+
+TEST(Weighted, HeavyServerCarriesMoreLoad) {
+  const WeightedVotingSystem sys({6, 1, 1, 1, 1, 1, 1}, 7);
+  // Server 0 holds 6 of 12 votes: nearly every quorum needs it.
+  math::Rng rng(9);
+  const auto loads = core::estimate_server_loads(sys, 20000, rng);
+  for (std::size_t u = 1; u < loads.size(); ++u) {
+    EXPECT_GT(loads[0], loads[u]);
+  }
+  EXPECT_GT(sys.load(), 0.8);
+}
+
+TEST(Weighted, HasLiveQuorumCountsVotes) {
+  const WeightedVotingSystem sys({3, 2, 1}, 4);  // V=6, T=4
+  EXPECT_TRUE(sys.has_live_quorum({true, true, false}));
+  EXPECT_TRUE(sys.has_live_quorum({true, false, true}));
+  EXPECT_FALSE(sys.has_live_quorum({false, true, true}));
+  EXPECT_FALSE(sys.has_live_quorum({true, false, false}));
+}
+
+// ---- Crumbling walls [PW97] ------------------------------------------------
+
+TEST(Wall, StructureAndSizes) {
+  const WallSystem wall({4, 3, 2});  // 9 servers, 3 rows
+  EXPECT_EQ(wall.universe_size(), 9u);
+  EXPECT_EQ(wall.rows(), 3u);
+  // Quorum sizes by chosen row: 4+2=6, 3+1=4, 2+0=2 -> c(Q)=2.
+  EXPECT_EQ(wall.min_quorum_size(), 2u);
+  EXPECT_EQ(wall.fault_tolerance(), 2u);  // min(d=3, c=2)
+}
+
+TEST(Wall, SampleShape) {
+  const WallSystem wall({4, 3, 2});
+  math::Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const auto q = wall.sample(rng);
+    EXPECT_TRUE(std::is_sorted(q.begin(), q.end()));
+    // Identify the chosen row: the first row fully contained in q.
+    // Row starts: 0, 4, 7.
+    const std::vector<ServerId> r0{0, 1, 2, 3};
+    const std::vector<ServerId> r1{4, 5, 6};
+    const bool row0 = std::includes(q.begin(), q.end(), r0.begin(), r0.end());
+    const bool row1 = std::includes(q.begin(), q.end(), r1.begin(), r1.end());
+    const bool row2 = q.size() >= 2 && q[q.size() - 2] >= 7;
+    if (row0) EXPECT_EQ(q.size(), 6u);
+    else if (row1) EXPECT_EQ(q.size(), 4u);
+    else EXPECT_EQ(q.size(), 2u);
+    EXPECT_TRUE(row0 || row1 || row2);
+  }
+}
+
+TEST(Wall, SampledPairsIntersect) {
+  const WallSystem wall({5, 4, 3, 2});
+  math::Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = wall.sample(rng);
+    const auto b = wall.sample(rng);
+    ASSERT_TRUE(math::sorted_intersects(a, b));
+  }
+}
+
+TEST(Wall, LoadClosedFormMatchesMonteCarlo) {
+  const WallSystem wall({5, 4, 3, 2});
+  math::Rng rng(17);
+  EXPECT_NEAR(core::estimate_load(wall, 200000, rng), wall.load(), 0.01);
+}
+
+TEST(Wall, LoadFormulaValues) {
+  // Uniform wall d rows of width w: row i load (1 + i/w)/d; max at bottom.
+  const auto wall = WallSystem::uniform(4, 4);
+  EXPECT_NEAR(wall.load(), (1.0 + 3.0 / 4.0) / 4.0, 1e-12);
+}
+
+TEST(Wall, SingleRowIsMajorityLike) {
+  // One row: the only quorum is the full row.
+  const WallSystem wall({5});
+  EXPECT_EQ(wall.min_quorum_size(), 5u);
+  EXPECT_EQ(wall.fault_tolerance(), 1u);
+  EXPECT_NEAR(wall.failure_probability(0.2), 1.0 - std::pow(0.8, 5), 1e-12);
+}
+
+TEST(Wall, FailureProbabilityMatchesMonteCarlo) {
+  const WallSystem wall({4, 3, 3, 2});
+  math::Rng rng(19);
+  for (double p : {0.2, 0.5, 0.7}) {
+    const auto est = core::estimate_failure_probability(wall, p, 100000, rng);
+    EXPECT_TRUE(est.wilson(4.4).contains(wall.failure_probability(p)))
+        << "p=" << p << " est=" << est.estimate() << " exact="
+        << wall.failure_probability(p);
+  }
+}
+
+TEST(Wall, FailureProbabilityExtremes) {
+  const WallSystem wall({3, 2, 2});
+  EXPECT_NEAR(wall.failure_probability(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wall.failure_probability(1.0), 1.0, 1e-12);
+}
+
+TEST(Wall, HasLiveQuorumLogic) {
+  const WallSystem wall({3, 2});
+  // Bottom row {3,4} alive alone is a quorum (chosen row = last).
+  EXPECT_TRUE(wall.has_live_quorum({false, false, false, true, true}));
+  // Top row alive + a survivor below.
+  EXPECT_TRUE(wall.has_live_quorum({true, true, true, true, false}));
+  // Top row alive but bottom row dead: chosen row 0 needs a rep below.
+  EXPECT_FALSE(wall.has_live_quorum({true, true, true, false, false}));
+  // Bottom row broken (one dead of two means not fully alive) and top
+  // broken: no quorum.
+  EXPECT_FALSE(wall.has_live_quorum({true, false, true, true, false}));
+}
+
+TEST(Wall, Validation) {
+  EXPECT_THROW(WallSystem({}), std::invalid_argument);
+  EXPECT_THROW(WallSystem({3, 0, 2}), std::invalid_argument);
+}
+
+// Property sweep: strictness and measure consistency across wall shapes.
+class WallSweep
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(WallSweep, MeasuresConsistent) {
+  const WallSystem wall(GetParam());
+  // Load within [1/n, 1], fault tolerance >= 1, failure prob monotone in p.
+  EXPECT_GE(wall.load(), 1.0 / wall.universe_size());
+  EXPECT_LE(wall.load(), 1.0);
+  EXPECT_GE(wall.fault_tolerance(), 1u);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.1) {
+    const double f = wall.failure_probability(p);
+    EXPECT_GE(f + 1e-12, prev);
+    prev = f;
+  }
+  // Killing fault_tolerance - 1 arbitrary servers never disables the
+  // system's *best-placed* quorum... the defining property is about the
+  // minimum over placements, so check: there exists an alive quorum when
+  // the adversary kills fault_tolerance - 1 servers greedily from the top
+  // row (a reasonable worst-ish case the closed form must survive).
+  std::vector<bool> alive(wall.universe_size(), true);
+  for (std::uint32_t i = 0; i + 1 < wall.fault_tolerance(); ++i) {
+    alive[i] = false;
+  }
+  EXPECT_TRUE(wall.has_live_quorum(alive));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WallSweep,
+    ::testing::Values(std::vector<std::uint32_t>{3},
+                      std::vector<std::uint32_t>{3, 2},
+                      std::vector<std::uint32_t>{4, 4, 4},
+                      std::vector<std::uint32_t>{6, 5, 4, 3},
+                      std::vector<std::uint32_t>{2, 2, 2, 2, 2},
+                      std::vector<std::uint32_t>{8, 1, 8}));
+}  // namespace
+}  // namespace pqs::quorum
