@@ -9,14 +9,18 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/epsilon.h"
 #include "core/monte_carlo.h"
 #include "core/random_subset_system.h"
 #include "math/rng.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pqs;
+
+  const auto opts = bench::parse_options(argc, argv);
+  core::Estimator engine({opts.threads});
 
   util::banner(std::cout,
                "Ablation: uniform vs split access strategy over the same set "
@@ -24,15 +28,16 @@ int main() {
 
   const std::uint32_t n = 100;
   math::Rng rng(2718);
-  constexpr std::uint64_t kSamples = 100000;
+  const std::uint64_t samples = opts.samples_or(100000);
 
   util::TextTable t({"q", "l", "exact eps (uniform)",
                      "measured eps (uniform)", "measured eps (split)"});
   for (std::uint32_t q : {10u, 16u, 23u, 30u, 40u, 50u}) {
     const core::RandomSubsetSystem sys(n, q);
-    const auto uniform = core::estimate_nonintersection(sys, kSamples, rng);
-    const auto split =
-        core::estimate_split_strategy_nonintersection(n, q, kSamples, rng);
+    const auto uniform =
+        core::estimate_nonintersection(sys, samples, rng, engine);
+    const auto split = core::estimate_split_strategy_nonintersection(
+        n, q, samples, rng, engine);
     t.row()
         .cell(static_cast<std::size_t>(q))
         .cell(q / std::sqrt(double(n)), 2)

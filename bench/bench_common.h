@@ -5,25 +5,77 @@
 // and exits 0. Absolute values depend on this simulator substrate; the
 // *shape* (who wins, by what factor, where the crossovers fall) is what
 // reproduces the paper.
+//
+// Benches that run Monte-Carlo estimators accept two flags, parsed by
+// parse_options():
+//   --threads=N   worker threads for core::Estimator (0 = hardware)
+//   --samples=N   trial count override (0 = keep the bench's default)
 #pragma once
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 namespace pqs::bench {
 
-// The crash-probability sweep used by the Figure 1-3 benches.
+struct Options {
+  unsigned threads = 0;       // 0 = hardware concurrency
+  std::uint64_t samples = 0;  // 0 = bench default
+
+  // The bench's trial count after the override.
+  std::uint64_t samples_or(std::uint64_t fallback) const {
+    return samples == 0 ? fallback : samples;
+  }
+};
+
+// Parses --threads=N / --samples=N (also "--threads N" forms). Unknown
+// arguments are reported and ignored so binaries stay runnable with no
+// arguments under older scripts.
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  auto read_value = [&](const char* arg, const char* name,
+                        int& i) -> const char* {
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0) return nullptr;
+    if (arg[len] == '=') return arg + len + 1;
+    if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = read_value(argv[i], "--threads", i)) {
+      opts.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v2 = read_value(argv[i], "--samples", i)) {
+      opts.samples = std::strtoull(v2, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "ignoring unknown argument: %s\n", argv[i]);
+    }
+  }
+  return opts;
+}
+
+// The crash-probability sweep used by the Figure 1-3 benches: 0.05..0.95 in
+// steps of 0.05, generated from integer steps so no floating-point drift
+// accumulates across the sweep.
 inline std::vector<double> p_sweep() {
   std::vector<double> ps;
-  for (double p = 0.05; p < 0.96; p += 0.05) ps.push_back(p);
+  ps.reserve(19);
+  for (int i = 1; i <= 19; ++i) ps.push_back(static_cast<double>(i) * 0.05);
   return ps;
 }
 
-// floor(sqrt(n)) for the b = sqrt(n) settings of Figures 2-3.
+// floor(sqrt(n)) for the b = sqrt(n) settings of Figures 2-3. Computed in
+// doubles, then corrected: floor(sqrt(double(n))) can land one off for n
+// near a perfect square (e.g. large n where sqrt rounds up to the next
+// integer), so nudge until s*s <= n < (s+1)*(s+1) holds exactly.
 inline std::uint32_t isqrt(std::uint32_t n) {
-  return static_cast<std::uint32_t>(std::lround(std::floor(std::sqrt(
-      static_cast<double>(n)))));
+  std::uint64_t s = static_cast<std::uint64_t>(std::sqrt(
+      static_cast<double>(n)));
+  while (s > 0 && s * s > n) --s;
+  while ((s + 1) * (s + 1) <= n) ++s;
+  return static_cast<std::uint32_t>(s);
 }
 
 // The Section 6 system-size grid of Tables 2-4.

@@ -1,12 +1,16 @@
 // Microbenchmarks (google-benchmark): the operational costs of the library —
-// quorum sampling, exact epsilon evaluation, solver runs, protocol
-// operations on both cluster harnesses, gossip rounds, and the MAC.
+// quorum sampling, exact epsilon evaluation, solver runs, Monte-Carlo
+// estimation (seed-style allocating loop vs the sharded engine at 1..8
+// threads), protocol operations on both cluster harnesses, gossip rounds,
+// and the MAC.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <memory>
 
 #include "core/epsilon.h"
+#include "core/estimator.h"
+#include "core/monte_carlo.h"
 #include "core/random_subset_system.h"
 #include "crypto/mac.h"
 #include "diffusion/gossip.h"
@@ -65,6 +69,74 @@ void BM_SampleQuorum_Weighted(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sys.sample(rng));
   }
+}
+
+void BM_SampleQuorumInto_RandomSubset(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
+  math::Rng rng(1);
+  quorum::Quorum q;
+  for (auto _ : state) {
+    sys.sample_into(q, rng);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+
+// The pre-engine estimator: one thread, a fresh quorum vector per draw, and
+// a sorted-merge intersection test. Kept as the baseline the engine's
+// speedup is measured against.
+math::Proportion seed_estimate_nonintersection(
+    const quorum::QuorumSystem& system, std::uint64_t samples,
+    math::Rng& rng) {
+  math::Proportion result;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto a = system.sample(rng);
+    const auto b = system.sample(rng);
+    result.add(!math::sorted_intersects(a, b));
+  }
+  return result;
+}
+
+constexpr std::uint64_t kEstimateSamples = 100000;
+
+void BM_EstimateNonintersection_SeedPath(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
+  math::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        seed_estimate_nonintersection(sys, kEstimateSamples, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEstimateSamples));
+}
+
+// Engine path; range(1) is the thread count — compare items_per_second
+// against the seed path above (acceptance: >= 4x at 8 threads).
+void BM_EstimateNonintersection_Engine(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
+  core::Estimator engine({static_cast<unsigned>(state.range(1))});
+  math::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::estimate_nonintersection(sys, kEstimateSamples, rng, engine));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEstimateSamples));
+}
+
+void BM_EstimateFailureProbability_Engine(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
+  core::Estimator engine({static_cast<unsigned>(state.range(1))});
+  math::Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimate_failure_probability(
+        sys, 0.5, kEstimateSamples / 4, rng, engine));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEstimateSamples / 4));
 }
 
 void BM_EpsilonExact_Intersecting(benchmark::State& state) {
@@ -153,6 +225,18 @@ void BM_MacSignVerify(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_SampleQuorum_RandomSubset)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_SampleQuorumInto_RandomSubset)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_EstimateNonintersection_SeedPath)->Arg(900)->UseRealTime();
+BENCHMARK(BM_EstimateNonintersection_Engine)
+    ->Args({900, 1})
+    ->Args({900, 2})
+    ->Args({900, 4})
+    ->Args({900, 8})
+    ->UseRealTime();
+BENCHMARK(BM_EstimateFailureProbability_Engine)
+    ->Args({900, 1})
+    ->Args({900, 8})
+    ->UseRealTime();
 BENCHMARK(BM_SampleQuorum_Grid)->Arg(100)->Arg(900);
 BENCHMARK(BM_SampleQuorum_Wall)->Arg(100)->Arg(900);
 BENCHMARK(BM_SampleQuorum_Weighted)->Arg(100)->Arg(900);

@@ -1,0 +1,25 @@
+#include "core/estimator.h"
+
+#include "util/require.h"
+
+namespace pqs::core {
+
+Estimator::Estimator(Options options)
+    : shards_(options.shards), pool_(options.threads) {
+  PQS_REQUIRE(options.shards >= 1, "estimator needs at least one shard");
+}
+
+Estimator& Estimator::shared() {
+  static Estimator engine;
+  return engine;
+}
+
+std::vector<math::Rng> Estimator::substreams(math::Rng& rng) const {
+  math::Rng base = rng.fork();
+  std::vector<math::Rng> out;
+  out.reserve(shards_);
+  for (std::uint32_t i = 0; i < shards_; ++i) out.push_back(base.substream());
+  return out;
+}
+
+}  // namespace pqs::core

@@ -3,96 +3,115 @@
 #include <algorithm>
 
 #include "math/sampling.h"
+#include "quorum/bitset.h"
 #include "util/require.h"
 
 namespace pqs::core {
 
 namespace {
 
-// |quorum ∩ {0..b-1}| for a sorted quorum.
-std::uint32_t overlap_with_prefix(const quorum::Quorum& q, std::uint32_t b) {
-  std::uint32_t count = 0;
-  for (auto u : q) {
-    if (u < b) ++count;
-    else break;
-  }
-  return count;
-}
-
-// |a ∩ b \ {0..prefix-1}| for sorted quorums.
-std::uint32_t overlap_excluding_prefix(const quorum::Quorum& a,
-                                       const quorum::Quorum& b,
-                                       std::uint32_t prefix) {
-  std::uint32_t count = 0;
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia == *ib) {
-      if (*ia >= prefix) ++count;
-      ++ia;
-      ++ib;
-    } else if (*ia < *ib) {
-      ++ia;
-    } else {
-      ++ib;
-    }
-  }
-  return count;
+// Folds Bernoulli shard counters; shard order is fixed by the engine, so
+// the merged Proportion is bit-identical at any thread count.
+void merge_proportion(math::Proportion& acc, const math::Proportion& part) {
+  acc.add(part.successes(), part.trials());
 }
 
 }  // namespace
 
 math::Proportion estimate_nonintersection(const quorum::QuorumSystem& system,
                                           std::uint64_t samples,
-                                          math::Rng& rng) {
-  math::Proportion result;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const auto a = system.sample(rng);
-    const auto b = system.sample(rng);
-    result.add(!math::sorted_intersects(a, b));
-  }
-  return result;
+                                          math::Rng& rng, Estimator& engine) {
+  const std::uint32_t n = system.universe_size();
+  return engine.run_trials<math::Proportion>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        quorum::Quorum a, b;
+        quorum::QuorumBitset mask_a(n), mask_b(n);
+        math::Proportion result;
+        for (std::uint64_t s = 0; s < shard_samples; ++s) {
+          system.sample_into(a, shard_rng);
+          system.sample_into(b, shard_rng);
+          mask_a.assign(a);
+          mask_b.assign(b);
+          result.add(!mask_a.intersects(mask_b));
+        }
+        return result;
+      },
+      merge_proportion);
 }
 
 math::Proportion estimate_dissemination_epsilon(
     const quorum::QuorumSystem& system, std::uint32_t b, std::uint64_t samples,
-    math::Rng& rng) {
+    math::Rng& rng, Estimator& engine) {
   PQS_REQUIRE(b <= system.universe_size(), "byzantine count");
-  math::Proportion result;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const auto qa = system.sample(rng);
-    const auto qb = system.sample(rng);
-    // Failure event: every common server is Byzantine (Q ∩ Q' ⊆ B).
-    result.add(overlap_excluding_prefix(qa, qb, b) == 0);
-  }
-  return result;
+  const std::uint32_t n = system.universe_size();
+  return engine.run_trials<math::Proportion>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        quorum::Quorum qa, qb;
+        quorum::QuorumBitset mask_a(n), mask_b(n);
+        math::Proportion result;
+        for (std::uint64_t s = 0; s < shard_samples; ++s) {
+          system.sample_into(qa, shard_rng);
+          system.sample_into(qb, shard_rng);
+          mask_a.assign(qa);
+          mask_b.assign(qb);
+          // Failure event: every common server is Byzantine (Q ∩ Q' ⊆ B).
+          result.add(mask_a.intersection_count_from(mask_b, b) == 0);
+        }
+        return result;
+      },
+      merge_proportion);
 }
 
 math::Proportion estimate_masking_epsilon(const quorum::QuorumSystem& system,
                                           std::uint32_t b, std::uint32_t k,
                                           std::uint64_t samples,
-                                          math::Rng& rng) {
+                                          math::Rng& rng, Estimator& engine) {
   PQS_REQUIRE(b <= system.universe_size(), "byzantine count");
-  math::Proportion result;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const auto read_q = system.sample(rng);
-    const auto write_q = system.sample(rng);
-    const std::uint32_t faulty_in_read = overlap_with_prefix(read_q, b);
-    const std::uint32_t fresh_correct =
-        overlap_excluding_prefix(read_q, write_q, b);
-    result.add(faulty_in_read >= k || fresh_correct < k);
-  }
-  return result;
+  const std::uint32_t n = system.universe_size();
+  return engine.run_trials<math::Proportion>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        quorum::Quorum read_q, write_q;
+        quorum::QuorumBitset read_mask(n), write_mask(n);
+        math::Proportion result;
+        for (std::uint64_t s = 0; s < shard_samples; ++s) {
+          system.sample_into(read_q, shard_rng);
+          system.sample_into(write_q, shard_rng);
+          read_mask.assign(read_q);
+          write_mask.assign(write_q);
+          const std::uint32_t faulty_in_read = read_mask.count_below(b);
+          const std::uint32_t fresh_correct =
+              read_mask.intersection_count_from(write_mask, b);
+          result.add(faulty_in_read >= k || fresh_correct < k);
+        }
+        return result;
+      },
+      merge_proportion);
 }
 
 std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
                                           std::uint64_t samples,
-                                          math::Rng& rng) {
+                                          math::Rng& rng, Estimator& engine) {
   PQS_REQUIRE(samples > 0, "samples");
-  std::vector<std::uint64_t> hits(system.universe_size(), 0);
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    for (auto u : system.sample(rng)) ++hits[u];
-  }
+  const std::uint32_t n = system.universe_size();
+  const auto hits = engine.run_trials<std::vector<std::uint64_t>>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        std::vector<std::uint64_t> shard_hits(n, 0);
+        quorum::Quorum q;
+        for (std::uint64_t s = 0; s < shard_samples; ++s) {
+          system.sample_into(q, shard_rng);
+          for (auto u : q) ++shard_hits[u];
+        }
+        return shard_hits;
+      },
+      [n](std::vector<std::uint64_t>& acc,
+          const std::vector<std::uint64_t>& part) {
+        acc.resize(n, 0);
+        for (std::uint32_t u = 0; u < n; ++u) acc[u] += part[u];
+      });
   std::vector<double> loads(hits.size());
   for (std::size_t u = 0; u < hits.size(); ++u) {
     loads[u] = static_cast<double>(hits[u]) / static_cast<double>(samples);
@@ -101,45 +120,60 @@ std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
 }
 
 double estimate_load(const quorum::QuorumSystem& system, std::uint64_t samples,
-                     math::Rng& rng) {
-  const auto loads = estimate_server_loads(system, samples, rng);
+                     math::Rng& rng, Estimator& engine) {
+  const auto loads = estimate_server_loads(system, samples, rng, engine);
   return *std::max_element(loads.begin(), loads.end());
 }
 
 math::Proportion estimate_failure_probability(
     const quorum::QuorumSystem& system, double p, std::uint64_t samples,
-    math::Rng& rng) {
-  math::Proportion result;
-  std::vector<bool> alive(system.universe_size());
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    for (std::uint32_t u = 0; u < alive.size(); ++u) {
-      alive[u] = !rng.chance(p);
-    }
-    result.add(!system.has_live_quorum(alive));
-  }
-  return result;
+    math::Rng& rng, Estimator& engine) {
+  const std::uint32_t n = system.universe_size();
+  return engine.run_trials<math::Proportion>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        std::vector<bool> alive(n);
+        math::Proportion result;
+        for (std::uint64_t s = 0; s < shard_samples; ++s) {
+          for (std::uint32_t u = 0; u < n; ++u) {
+            alive[u] = !shard_rng.chance(p);
+          }
+          result.add(!system.has_live_quorum(alive));
+        }
+        return result;
+      },
+      merge_proportion);
 }
 
 math::Proportion estimate_split_strategy_nonintersection(std::uint32_t n,
                                                          std::uint32_t q,
                                                          std::uint64_t samples,
-                                                         math::Rng& rng) {
+                                                         math::Rng& rng,
+                                                         Estimator& engine) {
   PQS_REQUIRE(q <= n / 2, "split strategy needs q <= n/2");
   const std::uint32_t half = n / 2;
-  auto draw = [&]() {
-    quorum::Quorum quorum_ids = math::sample_without_replacement(half, q, rng);
-    if (rng.chance(0.5)) {
-      for (auto& u : quorum_ids) u += half;
-    }
-    return quorum_ids;
-  };
-  math::Proportion result;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const auto a = draw();
-    const auto b = draw();
-    result.add(!math::sorted_intersects(a, b));
-  }
-  return result;
+  return engine.run_trials<math::Proportion>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        quorum::Quorum a, b;
+        quorum::QuorumBitset mask_a(n), mask_b(n);
+        auto draw = [&](quorum::Quorum& out) {
+          math::sample_without_replacement(half, q, shard_rng, out);
+          if (shard_rng.chance(0.5)) {
+            for (auto& u : out) u += half;
+          }
+        };
+        math::Proportion result;
+        for (std::uint64_t s = 0; s < shard_samples; ++s) {
+          draw(a);
+          draw(b);
+          mask_a.assign(a);
+          mask_b.assign(b);
+          result.add(!mask_a.intersects(mask_b));
+        }
+        return result;
+      },
+      merge_proportion);
 }
 
 }  // namespace pqs::core

@@ -5,11 +5,20 @@
 // access strategy so tests can confirm the two agree, and so benches can
 // demonstrate behaviour (e.g. of non-uniform strategies, Section 3.1's
 // remark) that has no closed form.
+//
+// All estimators run on core::Estimator: trials are sharded over RNG
+// substreams and executed on a worker pool, with results bit-identical for
+// any thread count (see estimator.h). Each estimator takes an optional
+// engine argument; the default is the process-wide shared engine at
+// hardware concurrency. Inner loops draw via QuorumSystem::sample_into
+// into per-shard scratch and compare quorums with word-parallel
+// quorum::QuorumBitset operations — no per-draw allocation.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/estimator.h"
 #include "math/rng.h"
 #include "math/stats.h"
 #include "quorum/quorum_system.h"
@@ -17,44 +26,44 @@
 namespace pqs::core {
 
 // Frequency of Q ∩ Q' = ∅ over `samples` independently drawn quorum pairs.
-math::Proportion estimate_nonintersection(const quorum::QuorumSystem& system,
-                                          std::uint64_t samples,
-                                          math::Rng& rng);
+math::Proportion estimate_nonintersection(
+    const quorum::QuorumSystem& system, std::uint64_t samples, math::Rng& rng,
+    Estimator& engine = Estimator::shared());
 
 // Frequency of Q ∩ Q' ⊆ B where B = {0..b-1} (WLOG for symmetric systems).
 math::Proportion estimate_dissemination_epsilon(
     const quorum::QuorumSystem& system, std::uint32_t b, std::uint64_t samples,
-    math::Rng& rng);
+    math::Rng& rng, Estimator& engine = Estimator::shared());
 
 // Frequency of |Q ∩ B| >= k or |Q ∩ Q' \ B| < k, B = {0..b-1}
 // (the masking eps of Definition 5.1).
-math::Proportion estimate_masking_epsilon(const quorum::QuorumSystem& system,
-                                          std::uint32_t b, std::uint32_t k,
-                                          std::uint64_t samples,
-                                          math::Rng& rng);
+math::Proportion estimate_masking_epsilon(
+    const quorum::QuorumSystem& system, std::uint32_t b, std::uint32_t k,
+    std::uint64_t samples, math::Rng& rng,
+    Estimator& engine = Estimator::shared());
 
 // Per-server access frequencies over `samples` draws; result[u] estimates
 // l_w(u). The maximum entry estimates the induced load L_w.
-std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
-                                          std::uint64_t samples,
-                                          math::Rng& rng);
+std::vector<double> estimate_server_loads(
+    const quorum::QuorumSystem& system, std::uint64_t samples, math::Rng& rng,
+    Estimator& engine = Estimator::shared());
 double estimate_load(const quorum::QuorumSystem& system,
-                     std::uint64_t samples, math::Rng& rng);
+                     std::uint64_t samples, math::Rng& rng,
+                     Estimator& engine = Estimator::shared());
 
 // Frequency of "no live quorum" when every server crashes independently
 // with probability p.
 math::Proportion estimate_failure_probability(
     const quorum::QuorumSystem& system, double p, std::uint64_t samples,
-    math::Rng& rng);
+    math::Rng& rng, Estimator& engine = Estimator::shared());
 
 // The Section 3.1 remark made measurable: a *non-uniform* strategy over the
 // same set system {q-subsets of n} that draws each quorum entirely from one
 // of two disjoint halves of the universe (each half with probability 1/2).
 // Its nonintersection probability is ~1/2 regardless of q — the advertised
 // eps of R(n, q) holds only for the uniform strategy.
-math::Proportion estimate_split_strategy_nonintersection(std::uint32_t n,
-                                                         std::uint32_t q,
-                                                         std::uint64_t samples,
-                                                         math::Rng& rng);
+math::Proportion estimate_split_strategy_nonintersection(
+    std::uint32_t n, std::uint32_t q, std::uint64_t samples, math::Rng& rng,
+    Estimator& engine = Estimator::shared());
 
 }  // namespace pqs::core

@@ -85,7 +85,14 @@ std::string RandomSubsetSystem::name() const {
 }
 
 quorum::Quorum RandomSubsetSystem::sample(math::Rng& rng) const {
-  return math::sample_without_replacement(n_, q_, rng);
+  quorum::Quorum q;
+  sample_into(q, rng);
+  return q;
+}
+
+void RandomSubsetSystem::sample_into(quorum::Quorum& out,
+                                     math::Rng& rng) const {
+  math::sample_without_replacement(n_, q_, rng, out);
 }
 
 double RandomSubsetSystem::load() const {

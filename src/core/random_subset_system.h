@@ -55,6 +55,7 @@ class RandomSubsetSystem final : public quorum::QuorumSystem {
   std::string name() const override;
   std::uint32_t universe_size() const override { return n_; }
   quorum::Quorum sample(math::Rng& rng) const override;
+  void sample_into(quorum::Quorum& out, math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override { return q_; }
   double load() const override;
   std::uint32_t fault_tolerance() const override { return n_ - q_ + 1; }

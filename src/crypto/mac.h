@@ -23,7 +23,13 @@ struct SignedRecord {
   std::uint32_t writer = 0;
   std::uint64_t tag = 0;
 
-  friend bool operator==(const SignedRecord&, const SignedRecord&) = default;
+  friend bool operator==(const SignedRecord& a, const SignedRecord& b) {
+    return a.variable == b.variable && a.value == b.value &&
+           a.timestamp == b.timestamp && a.writer == b.writer && a.tag == b.tag;
+  }
+  friend bool operator!=(const SignedRecord& a, const SignedRecord& b) {
+    return !(a == b);
+  }
 };
 
 class Signer {

@@ -38,7 +38,8 @@ inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
 
 }  // namespace
 
-std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data) {
+std::uint64_t siphash24(const Key128& key, const std::uint8_t* data,
+                        std::size_t len) {
   const std::uint64_t k0 = load_le64(key.data());
   const std::uint64_t k1 = load_le64(key.data() + 8);
 
@@ -47,8 +48,7 @@ std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data) {
   std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
   std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
 
-  const std::size_t len = data.size();
-  const std::uint8_t* in = data.data();
+  const std::uint8_t* in = data;
   const std::size_t full_blocks = len / 8;
 
   for (std::size_t i = 0; i < full_blocks; ++i) {
@@ -87,9 +87,7 @@ std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data) {
 }
 
 std::uint64_t siphash24(const Key128& key, const void* data, std::size_t len) {
-  return siphash24(
-      key, std::span<const std::uint8_t>(
-               static_cast<const std::uint8_t*>(data), len));
+  return siphash24(key, static_cast<const std::uint8_t*>(data), len);
 }
 
 }  // namespace pqs::crypto

@@ -9,15 +9,17 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <span>
 
 namespace pqs::crypto {
 
 using Key128 = std::array<std::uint8_t, 16>;
 
-// SipHash-2-4 of `data` under `key`, returning the 64-bit tag.
-std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data);
+// SipHash-2-4 of the `len` bytes at `data` under `key`, returning the
+// 64-bit tag.
+std::uint64_t siphash24(const Key128& key, const std::uint8_t* data,
+                        std::size_t len);
 
 // Convenience overload over raw bytes.
 std::uint64_t siphash24(const Key128& key, const void* data, std::size_t len);

@@ -42,7 +42,7 @@ double log_add(double a, double b) {
   return hi + std::log1p(std::exp(lo - hi));
 }
 
-double log_sum(std::span<const double> terms) {
+double log_sum(const std::vector<double>& terms) {
   double hi = kNegInf;
   for (double t : terms) hi = std::max(hi, t);
   if (hi == kNegInf) return kNegInf;

@@ -8,7 +8,7 @@
 
 #include <cstdint>
 #include <limits>
-#include <span>
+#include <vector>
 
 namespace pqs::math {
 
@@ -29,7 +29,7 @@ std::uint64_t choose_exact(std::int64_t n, std::int64_t k);
 double log_add(double a, double b);
 
 // Numerically stable ln(sum_i e^{terms[i]}). Empty input yields kNegInf.
-double log_sum(std::span<const double> terms);
+double log_sum(const std::vector<double>& terms);
 
 // exp() that clamps tiny negative rounding noise: values in (-1e-12, 0] map
 // to a probability in [0, 1]. Inputs are log-probabilities, so the result is

@@ -83,4 +83,48 @@ Rng Rng::fork() {
   return child;
 }
 
+namespace {
+
+// Jump polynomials from the xoshiro256** reference implementation
+// (Blackman & Vigna, public domain).
+constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL,
+                                   0xd5a61266f0c9392cULL,
+                                   0xa9582618e03fc9aaULL,
+                                   0x39abdc4529b1661cULL};
+constexpr std::uint64_t kLongJump[] = {0x76e15d3efefdcbbfULL,
+                                       0xc5004e441c522fb3ULL,
+                                       0x77710069854ee241ULL,
+                                       0x39109bb02acbe635ULL};
+
+}  // namespace
+
+void Rng::jump_with(const std::uint64_t (&polynomial)[4]) {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : polynomial) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+void Rng::jump() { jump_with(kJump); }
+
+void Rng::long_jump() { jump_with(kLongJump); }
+
+Rng Rng::substream() {
+  const Rng current = *this;
+  jump();
+  return current;
+}
+
 }  // namespace pqs::math

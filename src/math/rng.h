@@ -54,7 +54,26 @@ class Rng {
   // its own stream while keeping whole-run determinism from one seed.
   Rng fork();
 
+  // Advances this generator by 2^128 steps (the xoshiro256** jump
+  // polynomial). Successive jumps from one seed carve the period into
+  // non-overlapping substreams of 2^128 draws each — the basis of the
+  // deterministic sharding in core::Estimator: shard i gets a copy jumped
+  // i times, so results are identical no matter how shards are scheduled.
+  void jump();
+
+  // Advances by 2^192 steps; partitions the sequence one level above
+  // jump() (each long-jump leaves room for 2^64 jump() substreams).
+  void long_jump();
+
+  // The next substream: a copy of this generator after advancing *this* by
+  // jump(). Calling substream() repeatedly yields generator 0, 1, 2, ...
+  // of the non-overlapping substream sequence.
+  Rng substream();
+
  private:
+  // Polynomial-jump core shared by jump() and long_jump().
+  void jump_with(const std::uint64_t (&polynomial)[4]);
+
   std::uint64_t s_[4];
 };
 

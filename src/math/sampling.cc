@@ -13,14 +13,21 @@ void sample_without_replacement(std::uint32_t n, std::uint32_t k, Rng& rng,
   out.reserve(k);
   // Floyd's algorithm: for j in [n-k, n), pick t uniform in [0, j]; insert t
   // unless already present, else insert j. Uniform over all k-subsets.
+  //
+  // The membership test is a word-mask lookup (O(1)) over a thread-local
+  // scratch instead of a linear scan, turning a draw from O(k^2) into
+  // O(k + n/64); the RNG consumption and the returned subset are identical
+  // to the scan version, so seeded experiments are unaffected.
+  static thread_local std::vector<std::uint64_t> taken;
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  taken.assign(words, 0);
   for (std::uint32_t j = n - k; j < n; ++j) {
     const std::uint32_t t =
         static_cast<std::uint32_t>(rng.below(static_cast<std::uint64_t>(j) + 1));
-    if (std::find(out.begin(), out.end(), t) == out.end()) {
-      out.push_back(t);
-    } else {
-      out.push_back(j);
-    }
+    const std::uint32_t pick =
+        (taken[t >> 6] >> (t & 63)) & 1ULL ? j : t;
+    taken[pick >> 6] |= 1ULL << (pick & 63);
+    out.push_back(pick);
   }
   std::sort(out.begin(), out.end());
 }

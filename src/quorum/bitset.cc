@@ -1,0 +1,91 @@
+#include "quorum/bitset.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace pqs::quorum {
+
+namespace {
+
+// Mask selecting the bits below position `bits` of one word (bits <= 64).
+inline std::uint64_t low_mask(std::uint32_t bits) {
+  return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+}  // namespace
+
+void QuorumBitset::resize(std::uint32_t universe_size) {
+  n_ = universe_size;
+  words_.assign((static_cast<std::size_t>(n_) + 63) / 64, 0);
+}
+
+void QuorumBitset::clear() {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+void QuorumBitset::assign(const Quorum& q) {
+  clear();
+  for (ServerId u : q) set(u);
+}
+
+std::uint32_t QuorumBitset::count() const {
+  std::uint32_t total = 0;
+  for (std::uint64_t w : words_) total += popcount64(w);
+  return total;
+}
+
+std::uint32_t QuorumBitset::count_below(std::uint32_t bound) const {
+  bound = std::min(bound, n_);
+  const std::uint32_t full_words = bound / 64;
+  std::uint32_t total = 0;
+  for (std::uint32_t i = 0; i < full_words; ++i) total += popcount64(words_[i]);
+  if (bound % 64 != 0) {
+    total += popcount64(words_[full_words] & low_mask(bound % 64));
+  }
+  return total;
+}
+
+bool QuorumBitset::intersects(const QuorumBitset& other) const {
+  PQS_CHECK(n_ == other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+std::uint32_t QuorumBitset::intersection_count(const QuorumBitset& other) const {
+  PQS_CHECK(n_ == other.n_);
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += popcount64(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+std::uint32_t QuorumBitset::intersection_count_from(const QuorumBitset& other,
+                                                    std::uint32_t lo) const {
+  PQS_CHECK(n_ == other.n_);
+  if (lo >= n_) return 0;
+  const std::uint32_t first_word = lo / 64;
+  std::uint32_t total = 0;
+  // The first word is partially masked; the rest count whole.
+  std::uint64_t w = words_[first_word] & other.words_[first_word];
+  w &= ~low_mask(lo % 64);
+  total += popcount64(w);
+  for (std::size_t i = first_word + 1; i < words_.size(); ++i) {
+    total += popcount64(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+Quorum QuorumBitset::to_quorum() const {
+  Quorum out;
+  out.reserve(count());
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    if (test(u)) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace pqs::quorum

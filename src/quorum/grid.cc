@@ -56,20 +56,29 @@ std::string GridSystem::name() const {
 }
 
 Quorum GridSystem::sample(math::Rng& rng) const {
-  const auto row_ids = math::sample_without_replacement(rows_, d_, rng);
-  const auto col_ids = math::sample_without_replacement(cols_, d_, rng);
   Quorum q;
-  q.reserve(static_cast<std::size_t>(min_quorum_size()));
+  sample_into(q, rng);
+  return q;
+}
+
+void GridSystem::sample_into(Quorum& out, math::Rng& rng) const {
+  // Scratch persists across draws so the hot loop never allocates.
+  static thread_local std::vector<std::uint32_t> row_ids;
+  static thread_local std::vector<std::uint32_t> col_ids;
+  math::sample_without_replacement(rows_, d_, rng, row_ids);
+  math::sample_without_replacement(cols_, d_, rng, col_ids);
+  out.clear();
+  out.reserve(static_cast<std::size_t>(min_quorum_size()));
   for (std::uint32_t r = 0; r < rows_; ++r) {
     const bool row_in =
         std::binary_search(row_ids.begin(), row_ids.end(), r);
     for (std::uint32_t c = 0; c < cols_; ++c) {
       const bool col_in =
           std::binary_search(col_ids.begin(), col_ids.end(), c);
-      if (row_in || col_in) q.push_back(r * cols_ + c);
+      if (row_in || col_in) out.push_back(r * cols_ + c);
     }
   }
-  return q;  // already sorted: row-major emission
+  // Already sorted: row-major emission.
 }
 
 std::uint32_t GridSystem::min_quorum_size() const {

@@ -35,6 +35,7 @@ class GridSystem final : public QuorumSystem {
   std::string name() const override;
   std::uint32_t universe_size() const override { return rows_ * cols_; }
   Quorum sample(math::Rng& rng) const override;
+  void sample_into(Quorum& out, math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override;
   double load() const override;
   // A full explanation lives in the .cc: disabling every quorum requires

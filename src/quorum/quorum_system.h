@@ -33,6 +33,14 @@ class QuorumSystem {
   // Draws one quorum according to the system's access strategy w.
   virtual Quorum sample(math::Rng& rng) const = 0;
 
+  // Draws one quorum into `out` (overwritten). Constructions override this
+  // with an allocation-free fast path for the Monte-Carlo hot loops; the
+  // default copies sample()'s result. For any fixed rng state this yields
+  // exactly the quorum sample() would.
+  virtual void sample_into(Quorum& out, math::Rng& rng) const {
+    out = sample(rng);
+  }
+
   // c(Q): size of the smallest quorum.
   virtual std::uint32_t min_quorum_size() const = 0;
 

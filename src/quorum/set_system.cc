@@ -1,11 +1,11 @@
 #include "quorum/set_system.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <numeric>
 
 #include "math/sampling.h"
+#include "quorum/bitset.h"
 #include "util/require.h"
 
 namespace pqs::quorum {
@@ -84,10 +84,16 @@ std::string SetSystem::name() const {
 }
 
 Quorum SetSystem::sample(math::Rng& rng) const {
+  Quorum q;
+  sample_into(q, rng);
+  return q;
+}
+
+void SetSystem::sample_into(Quorum& out, math::Rng& rng) const {
   const double u = rng.uniform();
   const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
   const std::size_t i = static_cast<std::size_t>(it - cumulative_.begin());
-  return quorums_[std::min(i, quorums_.size() - 1)];
+  out = quorums_[std::min(i, quorums_.size() - 1)];
 }
 
 std::uint32_t SetSystem::min_quorum_size() const {
@@ -238,8 +244,8 @@ double SetSystem::failure_probability_over(
     for (std::size_t i = 0; i < m; ++i) {
       if (t & (1ULL << i)) uni |= masks[i];
     }
-    const int sign = (std::popcount(t) % 2 == 1) ? 1 : -1;
-    p_live += sign * std::pow(alive, std::popcount(uni));
+    const int sign = (popcount64(t) % 2 == 1) ? 1 : -1;
+    p_live += sign * std::pow(alive, popcount64(uni));
   }
   return std::clamp(1.0 - p_live, 0.0, 1.0);
 }

@@ -39,6 +39,7 @@ class SetSystem final : public QuorumSystem {
   std::string name() const override;
   std::uint32_t universe_size() const override { return n_; }
   Quorum sample(math::Rng& rng) const override;
+  void sample_into(Quorum& out, math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override;
   // Strategy-induced load L_w (Definition 2.4), exact.
   double load() const override;

@@ -16,6 +16,11 @@ std::string SingletonSystem::name() const {
 
 Quorum SingletonSystem::sample(math::Rng&) const { return {center_}; }
 
+void SingletonSystem::sample_into(Quorum& out, math::Rng&) const {
+  out.clear();
+  out.push_back(center_);
+}
+
 bool SingletonSystem::has_live_quorum(const std::vector<bool>& alive) const {
   return alive[center_];
 }

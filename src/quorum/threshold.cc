@@ -34,7 +34,13 @@ std::string ThresholdSystem::name() const {
 }
 
 Quorum ThresholdSystem::sample(math::Rng& rng) const {
-  return math::sample_without_replacement(n_, q_, rng);
+  Quorum q;
+  sample_into(q, rng);
+  return q;
+}
+
+void ThresholdSystem::sample_into(Quorum& out, math::Rng& rng) const {
+  math::sample_without_replacement(n_, q_, rng, out);
 }
 
 double ThresholdSystem::load() const {

@@ -31,20 +31,25 @@ std::string WallSystem::name() const {
 }
 
 Quorum WallSystem::sample(math::Rng& rng) const {
+  Quorum q;
+  sample_into(q, rng);
+  return q;
+}
+
+void WallSystem::sample_into(Quorum& out, math::Rng& rng) const {
   const std::uint32_t d = rows();
   const std::uint32_t chosen =
       static_cast<std::uint32_t>(rng.below(d));
-  Quorum q;
-  q.reserve(widths_[chosen] + d - 1 - chosen);
+  out.clear();
+  out.reserve(widths_[chosen] + d - 1 - chosen);
   for (std::uint32_t c = 0; c < widths_[chosen]; ++c) {
-    q.push_back(row_start(chosen) + c);
+    out.push_back(row_start(chosen) + c);
   }
   for (std::uint32_t j = chosen + 1; j < d; ++j) {
-    q.push_back(row_start(j) +
-                static_cast<std::uint32_t>(rng.below(widths_[j])));
+    out.push_back(row_start(j) +
+                  static_cast<std::uint32_t>(rng.below(widths_[j])));
   }
   // Row-major emission in increasing rows is already sorted.
-  return q;
 }
 
 std::uint32_t WallSystem::min_quorum_size() const {

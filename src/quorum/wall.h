@@ -34,6 +34,7 @@ class WallSystem final : public QuorumSystem {
   // Strategy: chosen row uniform over rows; representatives uniform within
   // each lower row, independently.
   Quorum sample(math::Rng& rng) const override;
+  void sample_into(Quorum& out, math::Rng& rng) const override;
   // min_i (w_i + d - 1 - i)  (0-based rows).
   std::uint32_t min_quorum_size() const override;
   // Exact for the uniform strategy: an element of row i (0-based) is used

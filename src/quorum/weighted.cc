@@ -35,18 +35,25 @@ std::uint32_t WeightedVotingSystem::universe_size() const {
 }
 
 Quorum WeightedVotingSystem::sample(math::Rng& rng) const {
-  std::vector<std::uint32_t> order(votes_.size());
+  Quorum q;
+  sample_into(q, rng);
+  return q;
+}
+
+void WeightedVotingSystem::sample_into(Quorum& out, math::Rng& rng) const {
+  // Scratch persists across draws so the hot loop never allocates.
+  static thread_local std::vector<std::uint32_t> order;
+  order.resize(votes_.size());
   std::iota(order.begin(), order.end(), 0u);
   math::shuffle(order, rng);
-  Quorum q;
+  out.clear();
   std::uint32_t gathered = 0;
   for (auto u : order) {
-    q.push_back(u);
+    out.push_back(u);
     gathered += votes_[u];
     if (gathered >= threshold_) break;
   }
-  std::sort(q.begin(), q.end());
-  return q;
+  std::sort(out.begin(), out.end());
 }
 
 namespace {

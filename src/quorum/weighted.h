@@ -34,6 +34,7 @@ class WeightedVotingSystem final : public QuorumSystem {
   std::string name() const override;
   std::uint32_t universe_size() const override;
   Quorum sample(math::Rng& rng) const override;
+  void sample_into(Quorum& out, math::Rng& rng) const override;
   // Fewest servers that can reach T (greedy by descending votes).
   std::uint32_t min_quorum_size() const override;
   // Fixed-seed Monte-Carlo estimate of the permutation strategy's load.

@@ -53,7 +53,7 @@ std::vector<Outbound> Server::handle_write(std::uint32_t from,
     case FaultMode::kCollude: {
       // Pretends to accept (acks) but does not durably adopt; it keeps the
       // record only in first_store_ so stale replay has something genuine.
-      if (!first_store_.contains(w.record.variable)) {
+      if (first_store_.count(w.record.variable) == 0) {
         first_store_.emplace(w.record.variable, w.record);
       }
       return {{from, WriteAck{w.op, id_}}};

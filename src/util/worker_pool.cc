@@ -1,0 +1,97 @@
+#include "util/worker_pool.h"
+
+#include <algorithm>
+
+namespace pqs::util {
+
+unsigned WorkerPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+WorkerPool::WorkerPool(unsigned threads)
+    : threads_(threads == 0 ? default_threads() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::drain() {
+  for (;;) {
+    if (failed_.load(std::memory_order_relaxed)) break;
+    const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) break;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      failed_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(
+          lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(std::uint64_t count,
+                     const std::function<void(std::uint64_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    // Inline path, also taken by single-threaded pools. An exception
+    // propagates at once, skipping the remaining indices — the same
+    // abort-the-batch contract the parallel path implements via failed_.
+    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // One batch at a time: the pool's batch state is single-slot, and the
+  // shared estimator may be driven from several caller threads.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain();  // the calling thread participates
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    error = error_;
+    fn_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pqs::util

@@ -1,0 +1,70 @@
+// A small fixed worker pool for data-parallel loops.
+//
+// The pool executes indexed task batches: run(count, fn) invokes fn(i) for
+// every i in [0, count) across the pool's threads plus the calling thread,
+// and returns when all invocations have finished. Work is handed out by an
+// atomic counter, so the *assignment* of indices to threads is
+// nondeterministic — callers that need determinism (core::Estimator) must
+// make each index's work self-contained and fold results by index
+// afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pqs::util {
+
+class WorkerPool {
+ public:
+  // `threads` is the total degree of parallelism, including the calling
+  // thread (so the pool spawns threads - 1 workers); 0 means
+  // hardware_concurrency(). A pool of 1 runs everything inline.
+  explicit WorkerPool(unsigned threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  // Invokes fn(i) for i in [0, count). Blocks until outstanding invocations
+  // return; rethrows the first exception any invocation threw. An exception
+  // aborts the batch: indices not yet started are skipped (in-flight ones
+  // finish first). Concurrent run() calls from different threads serialize
+  // on an internal mutex (the shared core::Estimator relies on this), but
+  // fn must not call run() on the same pool — that deadlocks on the
+  // serialization lock.
+  void run(std::uint64_t count, const std::function<void(std::uint64_t)>& fn);
+
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+  void drain();
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mu_;  // serializes whole run() calls
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;
+  bool stop_ = false;
+
+  // Current batch (valid while active_ > 0 or the caller is draining).
+  const std::function<void(std::uint64_t)>* fn_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+};
+
+}  // namespace pqs::util

@@ -1,0 +1,163 @@
+// The Monte-Carlo engine's contract: fixed-shard determinism (results are
+// a function of the seed and shard grid, never of the thread count), RNG
+// substream independence, and worker-pool semantics.
+#include "core/estimator.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monte_carlo.h"
+#include "core/random_subset_system.h"
+#include "math/rng.h"
+#include "util/worker_pool.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  util::WorkerPool pool(4);
+  constexpr std::uint64_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.run(kCount, [&](std::uint64_t i) { ++hits[i]; });
+  for (std::uint64_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  util::WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::uint64_t sum = 0;
+  pool.run(100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(WorkerPool, PropagatesExceptions) {
+  util::WorkerPool pool(4);
+  EXPECT_THROW(
+      pool.run(64,
+               [&](std::uint64_t i) {
+                 if (i == 13) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool survives a throwing batch and stays usable.
+  std::atomic<int> ran{0};
+  pool.run(8, [&](std::uint64_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPool, ConcurrentCallersSerialize) {
+  // The shared estimator can be driven from several threads at once; whole
+  // batches must serialize rather than corrupt each other's state.
+  util::WorkerPool pool(4);
+  constexpr int kCallers = 4;
+  std::atomic<std::uint64_t> sums[kCallers] = {};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      pool.run(100, [&sums, c](std::uint64_t i) { sums[c] += i; });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) EXPECT_EQ(sums[c].load(), 4950u);
+}
+
+TEST(WorkerPool, ReusableAcrossBatches) {
+  util::WorkerPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.run(round + 1, [&](std::uint64_t i) { sum += i + 1; });
+    EXPECT_EQ(sum.load(),
+              static_cast<std::uint64_t>(round + 1) * (round + 2) / 2);
+  }
+}
+
+TEST(Estimator, ShardSamplesSumToTotal) {
+  Estimator engine({2, 7});  // 7 shards so samples don't divide evenly
+  math::Rng rng(1);
+  const auto total = engine.run_trials<std::uint64_t>(
+      1000,  // 1000 = 7 * 142 + 6
+      rng,
+      [](std::uint32_t, std::uint64_t shard_samples, math::Rng&) {
+        return shard_samples;
+      },
+      [](std::uint64_t& acc, std::uint64_t part) { acc += part; });
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(Estimator, ReducesInShardOrder) {
+  Estimator engine({4, 16});
+  math::Rng rng(2);
+  const auto order = engine.run_trials<std::vector<std::uint32_t>>(
+      16, rng,
+      [](std::uint32_t shard, std::uint64_t, math::Rng&) {
+        return std::vector<std::uint32_t>{shard};
+      },
+      [](std::vector<std::uint32_t>& acc, std::vector<std::uint32_t> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+      });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Estimator, AdvancesCallerRngOnce) {
+  // The engine consumes exactly one fork() from the caller's generator, so
+  // back-to-back estimates stay independent and the caller's stream stays
+  // predictable.
+  Estimator engine({1});
+  const RandomSubsetSystem sys(64, 8);
+  math::Rng rng(77), reference(77);
+  (void)estimate_nonintersection(sys, 1000, rng, engine);
+  reference.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next(), reference.next());
+}
+
+// The acceptance criterion: estimate_nonintersection and
+// estimate_failure_probability return bit-identical Proportions for a
+// fixed seed at any thread count.
+TEST(Estimator, ThreadCountDoesNotChangeNonintersection) {
+  const RandomSubsetSystem sys(64, 8);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> results;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    Estimator engine({threads});
+    math::Rng rng(424242);
+    const auto est = estimate_nonintersection(sys, 50000, rng, engine);
+    results.emplace_back(est.successes(), est.trials());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(Estimator, ThreadCountDoesNotChangeFailureProbability) {
+  const RandomSubsetSystem sys(60, 15);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> results;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    Estimator engine({threads});
+    math::Rng rng(31337);
+    const auto est = estimate_failure_probability(sys, 0.7, 30000, rng, engine);
+    results.emplace_back(est.successes(), est.trials());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(Estimator, ThreadCountDoesNotChangeServerLoads) {
+  const RandomSubsetSystem sys(50, 10);
+  std::vector<std::vector<double>> results;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    Estimator engine({threads});
+    math::Rng rng(55);
+    results.push_back(estimate_server_loads(sys, 20000, rng, engine));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(Estimator, RejectsZeroShards) {
+  EXPECT_THROW(Estimator({1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pqs::core

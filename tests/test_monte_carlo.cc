@@ -1,6 +1,10 @@
 // Statistical cross-validation: every exact analysis must sit inside the
 // Wilson interval of its Monte-Carlo estimate (z = 4.4, i.e. ~1e-5 chance
 // of a false alarm per check even before discreteness slack).
+//
+// All estimators run on the sharded core::Estimator engine (the shared
+// default unless a test passes its own); test_estimator.cc covers the
+// engine's determinism contract, this file covers statistical correctness.
 #include "core/monte_carlo.h"
 
 #include <cmath>
@@ -8,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/epsilon.h"
+#include "core/estimator.h"
 #include "core/random_subset_system.h"
 #include "quorum/grid.h"
 #include "quorum/threshold.h"
@@ -21,6 +26,16 @@ TEST(MonteCarlo, NonintersectionMatchesExact) {
   math::Rng rng(101);
   const RandomSubsetSystem sys(64, 8);  // exact eps ~ 0.32
   const auto est = estimate_nonintersection(sys, 200000, rng);
+  EXPECT_TRUE(est.wilson(kZ).contains(nonintersection_exact(64, 8)))
+      << est.estimate();
+}
+
+TEST(MonteCarlo, NonintersectionMatchesExactOnExplicitEngine) {
+  // Same statistical check through a caller-owned multi-threaded engine.
+  Estimator engine({4});
+  math::Rng rng(102);
+  const RandomSubsetSystem sys(64, 8);
+  const auto est = estimate_nonintersection(sys, 200000, rng, engine);
   EXPECT_TRUE(est.wilson(kZ).contains(nonintersection_exact(64, 8)))
       << est.estimate();
 }
