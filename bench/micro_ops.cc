@@ -14,8 +14,10 @@
 #include "core/random_subset_system.h"
 #include "crypto/mac.h"
 #include "diffusion/gossip.h"
+#include "math/bernoulli.h"
 #include "math/rng.h"
 #include "math/sampling.h"
+#include "quorum/bitset.h"
 #include "quorum/grid.h"
 #include "quorum/threshold.h"
 #include "quorum/wall.h"
@@ -80,6 +82,94 @@ void BM_SampleQuorumInto_RandomSubset(benchmark::State& state) {
     sys.sample_into(q, rng);
     benchmark::DoNotOptimize(q.data());
   }
+}
+
+// Mask vs sorted-vector draw paths (same member sets, same rng draws): the
+// mask path skips the sort entirely. Compare BM_SampleMask_* against the
+// matching BM_SampleQuorumInto_* rows.
+void BM_SampleMask_RandomSubset(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
+  math::Rng rng(1);
+  quorum::QuorumBitset mask(n);
+  for (auto _ : state) {
+    sys.sample_mask(mask, rng);
+    benchmark::DoNotOptimize(mask.words());
+  }
+}
+
+void BM_SampleQuorumInto_Threshold(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const quorum::ThresholdSystem sys(n, n / 2 + 1);
+  math::Rng rng(5);
+  quorum::Quorum q;
+  for (auto _ : state) {
+    sys.sample_into(q, rng);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+
+void BM_SampleMask_Threshold(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const quorum::ThresholdSystem sys(n, n / 2 + 1);
+  math::Rng rng(5);
+  quorum::QuorumBitset mask(n);
+  for (auto _ : state) {
+    sys.sample_mask(mask, rng);
+    benchmark::DoNotOptimize(mask.words());
+  }
+}
+
+void BM_SampleQuorumInto_Grid(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto sys = quorum::GridSystem::square(n);
+  math::Rng rng(6);
+  quorum::Quorum q;
+  for (auto _ : state) {
+    sys.sample_into(q, rng);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+
+void BM_SampleMask_Grid(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto sys = quorum::GridSystem::square(n);
+  math::Rng rng(6);
+  quorum::QuorumBitset mask(n);
+  for (auto _ : state) {
+    sys.sample_mask(mask, rng);
+    benchmark::DoNotOptimize(mask.words());
+  }
+}
+
+// Alive-mask generation: one Bernoulli(p) per server, scalar chance() loop
+// vs the batched 64-lane digit-compare sampler.
+void BM_AliveMask_Scalar(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = 0.3;
+  math::Rng rng(8);
+  std::vector<bool> alive(n);
+  for (auto _ : state) {
+    for (std::uint32_t u = 0; u < n; ++u) alive[u] = !rng.chance(p);
+    benchmark::DoNotOptimize(&alive);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+
+void BM_AliveMask_Batched(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const math::BernoulliBlockSampler dead(0.3);
+  math::Rng rng(8);
+  quorum::QuorumBitset alive(n);
+  for (auto _ : state) {
+    std::uint64_t* words = alive.word_data();
+    for (std::size_t i = 0; i < alive.word_count(); ++i) {
+      words[i] = ~dead.draw_block(rng);
+    }
+    alive.mask_padding();
+    benchmark::DoNotOptimize(alive.words());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
 
 // The pre-engine estimator: one thread, a fresh quorum vector per draw, and
@@ -226,6 +316,13 @@ void BM_MacSignVerify(benchmark::State& state) {
 
 BENCHMARK(BM_SampleQuorum_RandomSubset)->Arg(100)->Arg(900)->Arg(10000);
 BENCHMARK(BM_SampleQuorumInto_RandomSubset)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_SampleMask_RandomSubset)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_SampleQuorumInto_Threshold)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_SampleMask_Threshold)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_SampleQuorumInto_Grid)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_SampleMask_Grid)->Arg(100)->Arg(900)->Arg(10000);
+BENCHMARK(BM_AliveMask_Scalar)->Arg(900)->Arg(10000);
+BENCHMARK(BM_AliveMask_Batched)->Arg(900)->Arg(10000);
 BENCHMARK(BM_EstimateNonintersection_SeedPath)->Arg(900)->UseRealTime();
 BENCHMARK(BM_EstimateNonintersection_Engine)
     ->Args({900, 1})

@@ -10,9 +10,20 @@
 // substreams and executed on a worker pool, with results bit-identical for
 // any thread count (see estimator.h). Each estimator takes an optional
 // engine argument; the default is the process-wide shared engine at
-// hardware concurrency. Inner loops draw via QuorumSystem::sample_into
-// into per-shard scratch and compare quorums with word-parallel
-// quorum::QuorumBitset operations — no per-draw allocation.
+// hardware concurrency. Inner loops draw via QuorumSystem::sample_mask
+// into per-shard QuorumBitset scratch — bits are set directly, with no
+// sorted-vector round trip — and compare quorums with word-parallel
+// bitset operations; alive masks for the failure-probability estimator
+// come from math::BernoulliBlockSampler, 64 Bernoulli lanes per digit
+// word. No per-draw allocation anywhere.
+//
+// Determinism contract: for a fixed (seed, samples, shard count) every
+// estimator returns bit-identical results at any thread count. The drawn
+// trial sequence itself is a property of the current draw-path generation
+// (mask draws + batched Bernoulli); it matched the PR-1 vector paths
+// draw-for-draw for quorum sampling, but alive masks consume the stream
+// differently than the old per-server loop, so failure-probability
+// estimates are statistically equivalent, not bit-equal, to PR 1.
 #pragma once
 
 #include <cstdint>
@@ -51,11 +62,22 @@ double estimate_load(const quorum::QuorumSystem& system,
                      std::uint64_t samples, math::Rng& rng,
                      Estimator& engine = Estimator::shared());
 
+// How estimate_failure_probability evaluates each trial's alive mask. Both
+// paths draw identical masks from the same rng stream (batched Bernoulli),
+// so for any fixed seed the two return bit-identical Proportions — the
+// scalar path exists as the reference that keeps every construction's
+// word-parallel has_live_quorum_mask honest.
+enum class LivenessCheck {
+  kWordParallel,      // has_live_quorum_mask on the bitset (the fast path)
+  kScalarReference,   // expand to vector<bool>, has_live_quorum
+};
+
 // Frequency of "no live quorum" when every server crashes independently
 // with probability p.
 math::Proportion estimate_failure_probability(
     const quorum::QuorumSystem& system, double p, std::uint64_t samples,
-    math::Rng& rng, Estimator& engine = Estimator::shared());
+    math::Rng& rng, Estimator& engine = Estimator::shared(),
+    LivenessCheck check = LivenessCheck::kWordParallel);
 
 // The Section 3.1 remark made measurable: a *non-uniform* strategy over the
 // same set system {q-subsets of n} that draws each quorum entirely from one

@@ -1,0 +1,25 @@
+// Definitions for the quorum/ -> engine seam declared in
+// quorum/engine_link.h. This file lives in core/ (which owns the engine);
+// the declarations live in quorum/ (which owns the callers). See the
+// header for why the split exists.
+#include "quorum/engine_link.h"
+
+#include "core/monte_carlo.h"
+#include "math/rng.h"
+
+namespace pqs::quorum {
+
+double engine_failure_probability(const QuorumSystem& system, double p,
+                                  std::uint64_t samples, std::uint64_t seed) {
+  math::Rng rng(seed);
+  return core::estimate_failure_probability(system, p, samples, rng)
+      .estimate();
+}
+
+double engine_load(const QuorumSystem& system, std::uint64_t samples,
+                   std::uint64_t seed) {
+  math::Rng rng(seed);
+  return core::estimate_load(system, samples, rng);
+}
+
+}  // namespace pqs::quorum

@@ -95,6 +95,12 @@ void RandomSubsetSystem::sample_into(quorum::Quorum& out,
   math::sample_without_replacement(n_, q_, rng, out);
 }
 
+void RandomSubsetSystem::sample_mask(quorum::QuorumBitset& out,
+                                     math::Rng& rng) const {
+  out.resize(n_);
+  math::sample_without_replacement_bits(n_, q_, rng, out.word_data());
+}
+
 double RandomSubsetSystem::load() const {
   // Every server appears in C(n-1, q-1) of the C(n, q) quorums, so the
   // uniform strategy induces load q/n on each (Section 3.4).
@@ -111,6 +117,11 @@ bool RandomSubsetSystem::has_live_quorum(const std::vector<bool>& alive) const {
   std::uint32_t count = 0;
   for (bool a : alive) count += a ? 1u : 0u;
   return count >= q_;
+}
+
+bool RandomSubsetSystem::has_live_quorum_mask(
+    const quorum::QuorumBitset& alive) const {
+  return alive.count() >= q_;
 }
 
 double RandomSubsetSystem::ell() const {

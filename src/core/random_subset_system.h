@@ -56,11 +56,13 @@ class RandomSubsetSystem final : public quorum::QuorumSystem {
   std::uint32_t universe_size() const override { return n_; }
   quorum::Quorum sample(math::Rng& rng) const override;
   void sample_into(quorum::Quorum& out, math::Rng& rng) const override;
+  void sample_mask(quorum::QuorumBitset& out, math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override { return q_; }
   double load() const override;
   std::uint32_t fault_tolerance() const override { return n_ - q_ + 1; }
   double failure_probability(double p) const override;
   bool has_live_quorum(const std::vector<bool>& alive) const override;
+  bool has_live_quorum_mask(const quorum::QuorumBitset& alive) const override;
 
   // -- Probabilistic-quorum specifics ------------------------------------
   Regime regime() const { return regime_; }

@@ -1,0 +1,50 @@
+#include "math/bernoulli.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pqs::math {
+
+BernoulliBlockSampler::BernoulliBlockSampler(double p)
+    : p_(std::clamp(p, 0.0, 1.0)) {
+  // ldexp scales by a power of two exactly; for p_ < 1 the result is below
+  // 2^64. Whenever scaled >= 2^53 the double is already integral, so a
+  // nonzero tail_ can only occur for p_ < 2^-11 — and the subtraction is
+  // then exact (both operands below 2^53).
+  const double scaled = std::ldexp(p_, 64);
+  const double integral = std::floor(scaled);
+  threshold_ = p_ >= 1.0 ? ~0ULL : static_cast<std::uint64_t>(integral);
+  tail_ = p_ >= 1.0 ? 0.0 : scaled - integral;
+  // With no tail, digits below p's lowest set digit can never flip an
+  // undecided lane to success — stop there (1 word total for p = 1/2).
+  stop_level_ = tail_ > 0.0 || threshold_ == 0
+                    ? 0
+                    : static_cast<int>(__builtin_ctzll(threshold_));
+}
+
+std::uint64_t BernoulliBlockSampler::draw_block(Rng& rng) const {
+  if (p_ <= 0.0) return 0;
+  if (p_ >= 1.0) return ~0ULL;
+  std::uint64_t success = 0;  // decided U < p
+  std::uint64_t eq = ~0ULL;   // undecided: uniform's digits tie p's so far
+  for (int level = 63; level >= stop_level_; --level) {
+    const std::uint64_t w = rng.next();
+    if ((threshold_ >> level) & 1ULL) {
+      success |= eq & ~w;
+      eq &= w;
+    } else {
+      eq &= ~w;
+    }
+    if (eq == 0) return success;
+  }
+  if (tail_ > 0.0) {
+    // Exact-tail fallback: these lanes' uniforms equal the 64-digit prefix
+    // of p exactly; each is a success with the residual probability.
+    for (std::uint64_t m = eq; m != 0; m &= m - 1) {
+      if (rng.chance(tail_)) success |= m & (~m + 1);
+    }
+  }
+  return success;
+}
+
+}  // namespace pqs::math

@@ -32,6 +32,20 @@ void sample_without_replacement(std::uint32_t n, std::uint32_t k, Rng& rng,
   std::sort(out.begin(), out.end());
 }
 
+void sample_without_replacement_bits(std::uint32_t n, std::uint32_t k,
+                                     Rng& rng, std::uint64_t* words) {
+  PQS_REQUIRE(k <= n, "sample size exceeds population");
+  // Floyd's algorithm as above, with the output mask doubling as the
+  // membership structure: O(k) total, nothing to sort.
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const std::uint32_t t =
+        static_cast<std::uint32_t>(rng.below(static_cast<std::uint64_t>(j) + 1));
+    const std::uint32_t pick =
+        (words[t >> 6] >> (t & 63)) & 1ULL ? j : t;
+    words[pick >> 6] |= 1ULL << (pick & 63);
+  }
+}
+
 std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
                                                       std::uint32_t k,
                                                       Rng& rng) {

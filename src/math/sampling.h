@@ -24,6 +24,15 @@ std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
 void sample_without_replacement(std::uint32_t n, std::uint32_t k, Rng& rng,
                                 std::vector<std::uint32_t>& out);
 
+// As above but sets the sampled ids as bits in `words` (ceil(n/64) words,
+// all zero on entry; bit u of words[u/64] marks server u). Floyd's
+// membership test IS the output mask here, so the draw does no sorting and
+// no per-member stores beyond one OR each — the backbone of
+// QuorumSystem::sample_mask for the size-based constructions. Consumes
+// exactly the rng draws of the vector overloads and marks the same subset.
+void sample_without_replacement_bits(std::uint32_t n, std::uint32_t k,
+                                     Rng& rng, std::uint64_t* words);
+
 // Fisher-Yates shuffle of the whole vector.
 void shuffle(std::vector<std::uint32_t>& values, Rng& rng);
 

@@ -29,6 +29,26 @@ void QuorumBitset::assign(const Quorum& q) {
   for (ServerId u : q) set(u);
 }
 
+void QuorumBitset::set_range(std::uint32_t lo, std::uint32_t hi) {
+  PQS_CHECK(hi <= n_);
+  if (lo >= hi) return;
+  const std::uint32_t first = lo / 64;
+  const std::uint32_t last = (hi - 1) / 64;
+  if (first == last) {
+    words_[first] |= low_mask(hi - last * 64) & ~low_mask(lo - first * 64);
+    return;
+  }
+  words_[first] |= ~low_mask(lo - first * 64);
+  for (std::uint32_t i = first + 1; i < last; ++i) words_[i] = ~0ULL;
+  words_[last] |= low_mask(hi - last * 64);
+}
+
+void QuorumBitset::mask_padding() {
+  if (n_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= low_mask(n_ % 64);
+  }
+}
+
 std::uint32_t QuorumBitset::count() const {
   std::uint32_t total = 0;
   for (std::uint64_t w : words_) total += popcount64(w);
@@ -44,6 +64,42 @@ std::uint32_t QuorumBitset::count_below(std::uint32_t bound) const {
     total += popcount64(words_[full_words] & low_mask(bound % 64));
   }
   return total;
+}
+
+std::uint32_t QuorumBitset::count_in_range(std::uint32_t lo,
+                                           std::uint32_t hi) const {
+  hi = std::min(hi, n_);
+  if (lo >= hi) return 0;
+  const std::uint32_t first = lo / 64;
+  const std::uint32_t last = (hi - 1) / 64;
+  if (first == last) {
+    return popcount64(words_[first] & low_mask(hi - last * 64) &
+                      ~low_mask(lo - first * 64));
+  }
+  std::uint32_t total = popcount64(words_[first] & ~low_mask(lo - first * 64));
+  for (std::uint32_t i = first + 1; i < last; ++i) {
+    total += popcount64(words_[i]);
+  }
+  return total + popcount64(words_[last] & low_mask(hi - last * 64));
+}
+
+bool QuorumBitset::all_set_in_range(std::uint32_t lo, std::uint32_t hi) const {
+  PQS_CHECK(hi <= n_);
+  if (lo >= hi) return true;
+  const std::uint32_t first = lo / 64;
+  const std::uint32_t last = (hi - 1) / 64;
+  if (first == last) {
+    const std::uint64_t want =
+        low_mask(hi - last * 64) & ~low_mask(lo - first * 64);
+    return (words_[first] & want) == want;
+  }
+  const std::uint64_t head = ~low_mask(lo - first * 64);
+  if ((words_[first] & head) != head) return false;
+  for (std::uint32_t i = first + 1; i < last; ++i) {
+    if (words_[i] != ~0ULL) return false;
+  }
+  const std::uint64_t tail = low_mask(hi - last * 64);
+  return (words_[last] & tail) == tail;
 }
 
 bool QuorumBitset::intersects(const QuorumBitset& other) const {
@@ -79,13 +135,23 @@ std::uint32_t QuorumBitset::intersection_count_from(const QuorumBitset& other,
   return total;
 }
 
+bool QuorumBitset::contains_all(const QuorumBitset& other) const {
+  PQS_CHECK(n_ == other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (other.words_[i] & ~words_[i]) return false;
+  }
+  return true;
+}
+
 Quorum QuorumBitset::to_quorum() const {
   Quorum out;
-  out.reserve(count());
-  for (std::uint32_t u = 0; u < n_; ++u) {
-    if (test(u)) out.push_back(u);
-  }
+  to_quorum_into(out);
   return out;
+}
+
+void QuorumBitset::to_quorum_into(Quorum& out) const {
+  out.clear();
+  for_each_set_bit([&out](ServerId u) { out.push_back(u); });
 }
 
 }  // namespace pqs::quorum

@@ -7,9 +7,14 @@
 // over a scratch buffer that is allocated once per shard and re-assigned
 // per draw — zero allocation and O(n/64) work per question, versus the
 // O(q) merge over sorted vectors it replaces.
+//
+// Invariant: bits at positions >= universe_size() (the padding of the last
+// word) are always zero. Every mutator preserves it; code that writes words
+// directly through word_data() must restore it via mask_padding().
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "quorum/types.h"
@@ -20,6 +25,11 @@ namespace pqs::quorum {
 // (C++17 has no std::popcount).
 inline std::uint32_t popcount64(std::uint64_t x) {
   return static_cast<std::uint32_t>(__builtin_popcountll(x));
+}
+
+// Index of the lowest set bit (x must be nonzero); used to walk set bits.
+inline std::uint32_t countr_zero64(std::uint64_t x) {
+  return static_cast<std::uint32_t>(__builtin_ctzll(x));
 }
 
 class QuorumBitset {
@@ -39,6 +49,10 @@ class QuorumBitset {
     return (words_[u >> 6] >> (u & 63)) & 1ULL;
   }
 
+  // Sets every bit in [lo, hi) (hi <= n). The word-filling fast path of the
+  // row/course-structured constructions (grid, wall).
+  void set_range(std::uint32_t lo, std::uint32_t hi);
+
   // Clears, then sets one bit per member of `q` (members must be < n).
   void assign(const Quorum& q);
 
@@ -46,6 +60,10 @@ class QuorumBitset {
   std::uint32_t count() const;
   // |this ∩ {0..bound-1}|.
   std::uint32_t count_below(std::uint32_t bound) const;
+  // |this ∩ {lo..hi-1}|.
+  std::uint32_t count_in_range(std::uint32_t lo, std::uint32_t hi) const;
+  // True iff every bit in [lo, hi) is set (vacuously true for lo >= hi).
+  bool all_set_in_range(std::uint32_t lo, std::uint32_t hi) const;
 
   // Set-algebra against another bitset over the same universe.
   bool intersects(const QuorumBitset& other) const;
@@ -54,9 +72,45 @@ class QuorumBitset {
   // (the "correct servers in both quorums" count of Sections 4-5).
   std::uint32_t intersection_count_from(const QuorumBitset& other,
                                         std::uint32_t lo) const;
+  // True iff other ⊆ this (the "is this quorum fully alive" question).
+  bool contains_all(const QuorumBitset& other) const;
+
+  // Invokes fn(u) for every set bit u in ascending order — the one word
+  // walk (ctz + clear-lowest-bit) every member-iterating caller shares. A
+  // bool-returning fn short-circuits the walk by returning false (for
+  // threshold-accumulating callers); a void fn visits every member.
+  template <typename Fn>
+  void for_each_set_bit(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      const std::uint32_t base = static_cast<std::uint32_t>(i) * 64;
+      while (w != 0) {
+        const ServerId u = base + countr_zero64(w);
+        if constexpr (std::is_void_v<std::invoke_result_t<Fn&, ServerId>>) {
+          fn(u);
+        } else {
+          if (!fn(u)) return;
+        }
+        w &= w - 1;
+      }
+    }
+  }
 
   // The members as a sorted quorum (for tests and debugging).
   Quorum to_quorum() const;
+  // As above but reusing the caller's vector — the bridge from a mask draw
+  // back to the sorted-vector representation without allocation.
+  void to_quorum_into(Quorum& out) const;
+
+  // Raw word access for bulk writers (the batched Bernoulli alive-mask
+  // generator) and word-at-a-time readers. words()[i] holds servers
+  // 64i..64i+63, LSB first. After writing through word_data(), call
+  // mask_padding() to restore the padding invariant.
+  std::size_t word_count() const { return words_.size(); }
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t* word_data() { return words_.data(); }
+  // Zeroes the bits >= n in the last word.
+  void mask_padding();
 
  private:
   std::uint32_t n_ = 0;

@@ -1,0 +1,36 @@
+// The layering seam between quorum/ and the Monte-Carlo engine in core/.
+//
+// A few strict constructions have quality measures with no closed form
+// (grid failure probability, weighted-voting load) and report fixed-seed
+// Monte-Carlo estimates instead. Those estimates should run on the sharded
+// core::Estimator — deterministic at any thread count and parallel — but
+// core/ sits *above* quorum/ in the layer map, so quorum/ must not include
+// engine headers. This header is the seam: quorum/ sees only these two
+// free-function signatures; core/quorum_engine_link.cc provides the
+// definitions on the shared engine. The static library resolves the link
+// when core/ is (always) present; nothing here drags engine types into the
+// quorum/ headers.
+//
+// Both functions advance no caller state: they seed a private generator
+// from `seed`, run `samples` trials on the process-wide shared engine, and
+// return the estimate. Results are a pure function of (system, p, samples,
+// seed) — bit-identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::quorum {
+
+class QuorumSystem;
+
+// Monte-Carlo F_p: frequency of "no live quorum" under iid crashes with
+// probability p, on the shared engine.
+double engine_failure_probability(const QuorumSystem& system, double p,
+                                  std::uint64_t samples, std::uint64_t seed);
+
+// Monte-Carlo load: maximum per-server access frequency of the system's
+// strategy over `samples` draws, on the shared engine.
+double engine_load(const QuorumSystem& system, std::uint64_t samples,
+                   std::uint64_t seed);
+
+}  // namespace pqs::quorum

@@ -5,6 +5,7 @@
 
 #include "math/sampling.h"
 #include "math/stats.h"
+#include "quorum/engine_link.h"
 #include "util/require.h"
 
 namespace pqs::quorum {
@@ -81,6 +82,22 @@ void GridSystem::sample_into(Quorum& out, math::Rng& rng) const {
   // Already sorted: row-major emission.
 }
 
+void GridSystem::sample_mask(QuorumBitset& out, math::Rng& rng) const {
+  static thread_local std::vector<std::uint32_t> row_ids;
+  static thread_local std::vector<std::uint32_t> col_ids;
+  math::sample_without_replacement(rows_, d_, rng, row_ids);
+  math::sample_without_replacement(cols_, d_, rng, col_ids);
+  out.resize(universe_size());
+  // Chosen rows are contiguous word ranges; chosen columns stride one bit
+  // per row. No scan over the full grid, unlike the sorted emission above.
+  for (const std::uint32_t r : row_ids) {
+    out.set_range(r * cols_, (r + 1) * cols_);
+  }
+  for (const std::uint32_t c : col_ids) {
+    for (std::uint32_t r = 0; r < rows_; ++r) out.set(r * cols_ + c);
+  }
+}
+
 std::uint32_t GridSystem::min_quorum_size() const {
   // d rows + d cols minus the d*d shared cells.
   return d_ * cols_ + d_ * rows_ - d_ * d_;
@@ -106,19 +123,50 @@ std::uint32_t GridSystem::fault_tolerance() const {
 double GridSystem::failure_probability(double p) const {
   // Rows and columns are correlated through shared cells, so there is no
   // simple closed form for d >= 1; a fixed-seed Monte-Carlo estimate keeps
-  // the QuorumSystem interface uniform and deterministic across runs.
-  constexpr int kSamples = 200000;
-  math::Rng rng(0xfe11c0de ^ (std::uint64_t(rows_) << 32) ^ cols_ ^
-                (std::uint64_t(d_) << 16));
-  std::vector<bool> alive(universe_size());
-  int failures = 0;
-  for (int s = 0; s < kSamples; ++s) {
-    for (std::uint32_t i = 0; i < universe_size(); ++i) {
-      alive[i] = !rng.chance(p);
-    }
-    if (!has_live_quorum(alive)) ++failures;
+  // the QuorumSystem interface uniform and deterministic across runs. The
+  // estimate runs on the shared core::Estimator through the engine_link
+  // seam (thread-count independent by the engine's sharding contract).
+  constexpr std::uint64_t kSamples = 200000;
+  const std::uint64_t seed = 0xfe11c0de ^ (std::uint64_t(rows_) << 32) ^
+                             cols_ ^ (std::uint64_t(d_) << 16);
+  return engine_failure_probability(*this, p, kSamples, seed);
+}
+
+bool GridSystem::has_live_quorum_mask(const QuorumBitset& alive) const {
+  // >= d fully-alive rows and >= d fully-alive columns, word-parallel.
+  std::uint32_t live_rows = 0;
+  for (std::uint32_t r = 0; r < rows_ && live_rows < d_; ++r) {
+    if (alive.all_set_in_range(r * cols_, (r + 1) * cols_)) ++live_rows;
   }
-  return static_cast<double>(failures) / kSamples;
+  if (live_rows < d_) return false;
+  if (cols_ <= 64) {
+    // AND the rows' column windows together: bit c survives iff column c is
+    // alive in every row. One word of state, two shifts per row.
+    const std::uint64_t* words = alive.words();
+    const std::uint64_t full = cols_ >= 64 ? ~0ULL : (1ULL << cols_) - 1;
+    std::uint64_t live_cols = full;
+    for (std::uint32_t r = 0; r < rows_ && live_cols != 0; ++r) {
+      const std::uint32_t lo = r * cols_;
+      std::uint64_t window = words[lo / 64] >> (lo % 64);
+      if (lo % 64 != 0 && lo / 64 + 1 < alive.word_count()) {
+        window |= words[lo / 64 + 1] << (64 - lo % 64);
+      }
+      live_cols &= window;
+    }
+    return popcount64(live_cols & full) >= d_;
+  }
+  std::uint32_t live_cols = 0;
+  for (std::uint32_t c = 0; c < cols_ && live_cols < d_; ++c) {
+    bool ok = true;
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      if (!alive.test(r * cols_ + c)) {
+        ok = false;
+        break;
+      }
+    }
+    live_cols += ok ? 1u : 0u;
+  }
+  return live_cols >= d_;
 }
 
 bool GridSystem::has_live_quorum(const std::vector<bool>& alive) const {

@@ -36,16 +36,19 @@ class GridSystem final : public QuorumSystem {
   std::uint32_t universe_size() const override { return rows_ * cols_; }
   Quorum sample(math::Rng& rng) const override;
   void sample_into(Quorum& out, math::Rng& rng) const override;
+  void sample_mask(QuorumBitset& out, math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override;
   double load() const override;
   // A full explanation lives in the .cc: disabling every quorum requires
   // hitting servers in rows - d + 1 distinct rows (or cols - d + 1 distinct
   // columns), whichever is cheaper.
   std::uint32_t fault_tolerance() const override;
-  // No closed form for d >= 1 with row/column correlations; computed by
-  // Monte-Carlo with a fixed internal seed (documented in the .cc).
+  // No closed form for d >= 1 with row/column correlations; estimated on
+  // the shared deterministic Monte-Carlo engine with a fixed internal seed
+  // (via quorum::engine_failure_probability — see engine_link.h).
   double failure_probability(double p) const override;
   bool has_live_quorum(const std::vector<bool>& alive) const override;
+  bool has_live_quorum_mask(const QuorumBitset& alive) const override;
 
   std::uint32_t rows() const { return rows_; }
   std::uint32_t cols() const { return cols_; }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "math/rng.h"
+#include "quorum/bitset.h"
 #include "quorum/types.h"
 
 namespace pqs::quorum {
@@ -31,15 +32,25 @@ class QuorumSystem {
   virtual std::uint32_t universe_size() const = 0;
 
   // Draws one quorum according to the system's access strategy w.
+  //
+  // The three draw paths form a hierarchy — sample() (allocating) →
+  // sample_into() (sorted vector, caller scratch) → sample_mask() (bitset,
+  // no ordering) — and for any fixed rng state all three yield the same
+  // member set while consuming the same rng draws, so they are freely
+  // interchangeable inside seeded experiments.
   virtual Quorum sample(math::Rng& rng) const = 0;
 
-  // Draws one quorum into `out` (overwritten). Constructions override this
-  // with an allocation-free fast path for the Monte-Carlo hot loops; the
-  // default copies sample()'s result. For any fixed rng state this yields
-  // exactly the quorum sample() would.
-  virtual void sample_into(Quorum& out, math::Rng& rng) const {
-    out = sample(rng);
-  }
+  // Draws one quorum into `out` (overwritten, sorted). Constructions
+  // override this with an allocation-free fast path; the default expands a
+  // sample_mask() draw back into sorted ids.
+  virtual void sample_into(Quorum& out, math::Rng& rng) const;
+
+  // Draws one quorum as a bitset: `out` is resized to the universe and
+  // holds exactly the members of the drawn quorum. This is the native
+  // representation of the Monte-Carlo hot loops — constructions set bits
+  // (or whole words) directly, skipping the sorted-vector round trip. The
+  // default copies a sample() draw.
+  virtual void sample_mask(QuorumBitset& out, math::Rng& rng) const;
 
   // c(Q): size of the smallest quorum.
   virtual std::uint32_t min_quorum_size() const = 0;
@@ -61,6 +72,13 @@ class QuorumSystem {
   // (alive.size() == universe_size()). Drives the generic Monte-Carlo
   // failure-probability estimator, which cross-checks failure_probability().
   virtual bool has_live_quorum(const std::vector<bool>& alive) const = 0;
+
+  // As above over a bitset (alive.universe_size() == universe_size()), so
+  // the failure-probability hot loop stays word-parallel end to end.
+  // Constructions override with word loops; the default expands to a
+  // vector<bool> and answers via has_live_quorum. Both overloads must
+  // agree on every mask.
+  virtual bool has_live_quorum_mask(const QuorumBitset& alive) const;
 };
 
 }  // namespace pqs::quorum

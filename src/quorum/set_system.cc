@@ -53,6 +53,11 @@ SetSystem::SetSystem(std::uint32_t n, std::vector<Quorum> quorums,
   cumulative_.resize(weights_.size());
   std::partial_sum(weights_.begin(), weights_.end(), cumulative_.begin());
   cumulative_.back() = 1.0;
+  masks_.reserve(quorums_.size());
+  for (const auto& q : quorums_) {
+    masks_.emplace_back(n_);
+    masks_.back().assign(q);
+  }
 }
 
 SetSystem SetSystem::all_subsets(std::uint32_t n, std::uint32_t q) {
@@ -89,11 +94,21 @@ Quorum SetSystem::sample(math::Rng& rng) const {
   return q;
 }
 
-void SetSystem::sample_into(Quorum& out, math::Rng& rng) const {
+std::size_t SetSystem::sample_index(math::Rng& rng) const {
   const double u = rng.uniform();
   const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
   const std::size_t i = static_cast<std::size_t>(it - cumulative_.begin());
-  out = quorums_[std::min(i, quorums_.size() - 1)];
+  return std::min(i, quorums_.size() - 1);
+}
+
+void SetSystem::sample_into(Quorum& out, math::Rng& rng) const {
+  out = quorums_[sample_index(rng)];
+}
+
+void SetSystem::sample_mask(QuorumBitset& out, math::Rng& rng) const {
+  // Word-copy of the bitset materialized at construction; no per-member
+  // work at all. Same uniform draw as the vector path.
+  out = masks_[sample_index(rng)];
 }
 
 std::uint32_t SetSystem::min_quorum_size() const {
@@ -272,6 +287,13 @@ bool SetSystem::has_live_quorum(const std::vector<bool>& alive) const {
       }
     }
     if (ok) return true;
+  }
+  return false;
+}
+
+bool SetSystem::has_live_quorum_mask(const QuorumBitset& alive) const {
+  for (const auto& m : masks_) {
+    if (alive.contains_all(m)) return true;
   }
   return false;
 }

@@ -21,8 +21,17 @@ void SingletonSystem::sample_into(Quorum& out, math::Rng&) const {
   out.push_back(center_);
 }
 
+void SingletonSystem::sample_mask(QuorumBitset& out, math::Rng&) const {
+  out.resize(n_);
+  out.set(center_);
+}
+
 bool SingletonSystem::has_live_quorum(const std::vector<bool>& alive) const {
   return alive[center_];
+}
+
+bool SingletonSystem::has_live_quorum_mask(const QuorumBitset& alive) const {
+  return alive.test(center_);
 }
 
 }  // namespace pqs::quorum

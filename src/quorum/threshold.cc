@@ -43,6 +43,11 @@ void ThresholdSystem::sample_into(Quorum& out, math::Rng& rng) const {
   math::sample_without_replacement(n_, q_, rng, out);
 }
 
+void ThresholdSystem::sample_mask(QuorumBitset& out, math::Rng& rng) const {
+  out.resize(n_);
+  math::sample_without_replacement_bits(n_, q_, rng, out.word_data());
+}
+
 double ThresholdSystem::load() const {
   // Uniform strategy over all q-subsets: every server carries load q/n,
   // which attains the Naor-Wool optimum for this set system.
@@ -57,6 +62,10 @@ bool ThresholdSystem::has_live_quorum(const std::vector<bool>& alive) const {
   std::uint32_t count = 0;
   for (bool a : alive) count += a ? 1u : 0u;
   return count >= q_;
+}
+
+bool ThresholdSystem::has_live_quorum_mask(const QuorumBitset& alive) const {
+  return alive.count() >= q_;
 }
 
 }  // namespace pqs::quorum

@@ -32,11 +32,13 @@ class ThresholdSystem final : public QuorumSystem {
   std::uint32_t universe_size() const override { return n_; }
   Quorum sample(math::Rng& rng) const override;
   void sample_into(Quorum& out, math::Rng& rng) const override;
+  void sample_mask(QuorumBitset& out, math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override { return q_; }
   double load() const override;
   std::uint32_t fault_tolerance() const override { return n_ - q_ + 1; }
   double failure_probability(double p) const override;
   bool has_live_quorum(const std::vector<bool>& alive) const override;
+  bool has_live_quorum_mask(const QuorumBitset& alive) const override;
 
   // Guaranteed |Q ∩ Q'| >= 2q - n for any two quorums.
   std::uint32_t min_pairwise_intersection() const { return 2 * q_ - n_; }

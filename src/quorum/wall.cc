@@ -52,6 +52,16 @@ void WallSystem::sample_into(Quorum& out, math::Rng& rng) const {
   // Row-major emission in increasing rows is already sorted.
 }
 
+void WallSystem::sample_mask(QuorumBitset& out, math::Rng& rng) const {
+  const std::uint32_t d = rows();
+  const std::uint32_t chosen = static_cast<std::uint32_t>(rng.below(d));
+  out.resize(n_);
+  out.set_range(row_start(chosen), row_start(chosen) + widths_[chosen]);
+  for (std::uint32_t j = chosen + 1; j < d; ++j) {
+    out.set(row_start(j) + static_cast<std::uint32_t>(rng.below(widths_[j])));
+  }
+}
+
 std::uint32_t WallSystem::min_quorum_size() const {
   const std::uint32_t d = rows();
   std::uint32_t best = n_;
@@ -116,6 +126,20 @@ bool WallSystem::has_live_quorum(const std::vector<bool>& alive) const {
     }
     if (full && suffix_has_survivors) return true;
     suffix_has_survivors = suffix_has_survivors && any;
+  }
+  return false;
+}
+
+bool WallSystem::has_live_quorum_mask(const QuorumBitset& alive) const {
+  // Same bottom-up scan as above with each row answered by word ops.
+  const std::uint32_t d = rows();
+  bool suffix_has_survivors = true;
+  for (std::uint32_t i = d; i-- > 0;) {
+    const std::uint32_t lo = row_start(i);
+    const std::uint32_t hi = lo + widths_[i];
+    const std::uint32_t live = alive.count_in_range(lo, hi);
+    if (live == widths_[i] && suffix_has_survivors) return true;
+    suffix_has_survivors = suffix_has_survivors && live > 0;
   }
   return false;
 }

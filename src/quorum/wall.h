@@ -35,6 +35,7 @@ class WallSystem final : public QuorumSystem {
   // each lower row, independently.
   Quorum sample(math::Rng& rng) const override;
   void sample_into(Quorum& out, math::Rng& rng) const override;
+  void sample_mask(QuorumBitset& out, math::Rng& rng) const override;
   // min_i (w_i + d - 1 - i)  (0-based rows).
   std::uint32_t min_quorum_size() const override;
   // Exact for the uniform strategy: an element of row i (0-based) is used
@@ -47,6 +48,7 @@ class WallSystem final : public QuorumSystem {
   // is fully alive with every row below it non-empty-alive.
   double failure_probability(double p) const override;
   bool has_live_quorum(const std::vector<bool>& alive) const override;
+  bool has_live_quorum_mask(const QuorumBitset& alive) const override;
 
   std::uint32_t rows() const {
     return static_cast<std::uint32_t>(widths_.size());

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "math/sampling.h"
+#include "quorum/engine_link.h"
 #include "util/require.h"
 
 namespace pqs::quorum {
@@ -17,6 +18,26 @@ WeightedVotingSystem::WeightedVotingSystem(std::vector<std::uint32_t> votes,
   PQS_REQUIRE(threshold_ <= total_votes_, "threshold above total votes");
   PQS_REQUIRE(2 * threshold_ > total_votes_,
               "weighted voting requires 2T > V for intersection");
+  // Sort once; every greedy measure reads this instead of re-sorting a
+  // copy of the vote vector per call.
+  votes_descending_ = votes_;
+  std::sort(votes_descending_.begin(), votes_descending_.end(),
+            std::greater<>());
+  min_quorum_size_ = greedy_count(threshold_);
+  // Disabling every quorum needs the dead votes to exceed V - T; the
+  // cheapest way takes the largest-vote servers first.
+  fault_tolerance_ = greedy_count(total_votes_ - threshold_ + 1);
+}
+
+std::uint32_t WeightedVotingSystem::greedy_count(std::uint32_t target) const {
+  std::uint32_t gathered = 0;
+  std::uint32_t count = 0;
+  for (auto v : votes_descending_) {
+    if (gathered >= target) break;
+    gathered += v;
+    ++count;
+  }
+  return count;
 }
 
 WeightedVotingSystem WeightedVotingSystem::majority(std::uint32_t n) {
@@ -41,7 +62,9 @@ Quorum WeightedVotingSystem::sample(math::Rng& rng) const {
 }
 
 void WeightedVotingSystem::sample_into(Quorum& out, math::Rng& rng) const {
-  // Scratch persists across draws so the hot loop never allocates.
+  // Scratch persists across draws so the hot loop never allocates. The
+  // final sort orders the *members* (the sorted-quorum invariant of the
+  // vector path); the mask path below has no ordering to maintain.
   static thread_local std::vector<std::uint32_t> order;
   order.resize(votes_.size());
   std::iota(order.begin(), order.end(), 0u);
@@ -56,44 +79,28 @@ void WeightedVotingSystem::sample_into(Quorum& out, math::Rng& rng) const {
   std::sort(out.begin(), out.end());
 }
 
-namespace {
-
-// Fewest servers (greedy descending votes) to reach `target` votes.
-std::uint32_t greedy_count(const std::vector<std::uint32_t>& votes,
-                           std::uint32_t target) {
-  std::vector<std::uint32_t> sorted = votes;
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+void WeightedVotingSystem::sample_mask(QuorumBitset& out,
+                                       math::Rng& rng) const {
+  static thread_local std::vector<std::uint32_t> order;
+  order.resize(votes_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  math::shuffle(order, rng);
+  out.resize(universe_size());
   std::uint32_t gathered = 0;
-  std::uint32_t count = 0;
-  for (auto v : sorted) {
-    if (gathered >= target) break;
-    gathered += v;
-    ++count;
+  for (auto u : order) {
+    out.set(u);
+    gathered += votes_[u];
+    if (gathered >= threshold_) break;
   }
-  return count;
-}
-
-}  // namespace
-
-std::uint32_t WeightedVotingSystem::min_quorum_size() const {
-  return greedy_count(votes_, threshold_);
 }
 
 double WeightedVotingSystem::load() const {
-  constexpr int kSamples = 20000;
-  math::Rng rng(0x1f0ad ^ (std::uint64_t(total_votes_) << 20) ^ threshold_);
-  std::vector<std::uint32_t> hits(votes_.size(), 0);
-  for (int s = 0; s < kSamples; ++s) {
-    for (auto u : sample(rng)) ++hits[u];
-  }
-  const auto max_hits = *std::max_element(hits.begin(), hits.end());
-  return static_cast<double>(max_hits) / kSamples;
-}
-
-std::uint32_t WeightedVotingSystem::fault_tolerance() const {
-  // Disabling every quorum needs the dead votes to exceed V - T; the
-  // cheapest way takes the largest-vote servers first.
-  return greedy_count(votes_, total_votes_ - threshold_ + 1);
+  // No closed form for general vote vectors; a fixed-seed estimate on the
+  // shared deterministic engine (see engine_link.h for the layering).
+  constexpr std::uint64_t kSamples = 20000;
+  const std::uint64_t seed =
+      0x1f0ad ^ (std::uint64_t(total_votes_) << 20) ^ threshold_;
+  return engine_load(*this, kSamples, seed);
 }
 
 double WeightedVotingSystem::failure_probability(double p) const {
@@ -121,6 +128,16 @@ bool WeightedVotingSystem::has_live_quorum(
   for (std::uint32_t u = 0; u < votes_.size(); ++u) {
     if (alive[u]) gathered += votes_[u];
   }
+  return gathered >= threshold_;
+}
+
+bool WeightedVotingSystem::has_live_quorum_mask(
+    const QuorumBitset& alive) const {
+  std::uint32_t gathered = 0;
+  alive.for_each_set_bit([&](ServerId u) {
+    gathered += votes_[u];
+    return gathered < threshold_;  // stop once the quorum is reached
+  });
   return gathered >= threshold_;
 }
 

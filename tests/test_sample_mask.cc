@@ -1,0 +1,213 @@
+// The mask-native draw path must be indistinguishable (same member sets,
+// same rng consumption) from the sorted-vector path for every
+// construction, and the word-parallel liveness checks must agree with the
+// vector<bool> reference on every alive mask — including inside the
+// batched-Bernoulli failure-probability estimator, bit for bit, at any
+// thread count.
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/monte_carlo.h"
+#include "core/random_subset_system.h"
+#include "math/bernoulli.h"
+#include "math/rng.h"
+#include "quorum/bitset.h"
+#include "quorum/grid.h"
+#include "quorum/set_system.h"
+#include "quorum/singleton.h"
+#include "quorum/threshold.h"
+#include "quorum/wall.h"
+#include "quorum/weighted.h"
+
+namespace pqs {
+namespace {
+
+using quorum::Quorum;
+using quorum::QuorumBitset;
+using quorum::QuorumSystem;
+
+using SystemFactory = std::shared_ptr<const QuorumSystem> (*)();
+
+std::shared_ptr<const QuorumSystem> make_threshold() {
+  return std::make_shared<quorum::ThresholdSystem>(
+      quorum::ThresholdSystem::majority(67));
+}
+std::shared_ptr<const QuorumSystem> make_grid() {
+  // 7x7, d=2: spans word boundaries neither at 64 nor 128.
+  return std::make_shared<quorum::GridSystem>(quorum::GridSystem(7, 7, 2));
+}
+std::shared_ptr<const QuorumSystem> make_big_grid() {
+  // 12x12 = 144 servers: rows straddle the 64- and 128-bit word seams.
+  return std::make_shared<quorum::GridSystem>(quorum::GridSystem(12, 12, 1));
+}
+std::shared_ptr<const QuorumSystem> make_wall() {
+  return std::make_shared<quorum::WallSystem>(
+      quorum::WallSystem({40, 30, 20, 10}));  // 100 servers, crosses a word
+}
+std::shared_ptr<const QuorumSystem> make_weighted() {
+  std::vector<std::uint32_t> votes(70, 1);
+  for (int i = 0; i < 10; ++i) votes[i] = 5;
+  return std::make_shared<quorum::WeightedVotingSystem>(
+      quorum::WeightedVotingSystem(votes, 61));
+}
+std::shared_ptr<const QuorumSystem> make_singleton() {
+  return std::make_shared<quorum::SingletonSystem>(66, 65);
+}
+std::shared_ptr<const QuorumSystem> make_set_system() {
+  return std::make_shared<quorum::SetSystem>(
+      quorum::SetSystem::all_subsets(7, 4));
+}
+std::shared_ptr<const QuorumSystem> make_random_subset() {
+  return std::make_shared<core::RandomSubsetSystem>(130, 27);
+}
+
+class MaskPathEquivalence : public ::testing::TestWithParam<SystemFactory> {};
+
+// sample_mask must mark exactly the members sample_into emits, drawing the
+// same rng values — checked in lockstep over many draws so any stream
+// divergence compounds and fails fast.
+TEST_P(MaskPathEquivalence, MaskAndVectorDrawsAgree) {
+  const auto sys = GetParam()();
+  for (std::uint64_t seed : {1ull, 42ull, 0xfeedfaceull}) {
+    math::Rng rng_vec(seed), rng_mask(seed);
+    Quorum q, from_mask;
+    QuorumBitset mask;
+    for (int draw = 0; draw < 200; ++draw) {
+      sys->sample_into(q, rng_vec);
+      sys->sample_mask(mask, rng_mask);
+      ASSERT_EQ(mask.universe_size(), sys->universe_size());
+      mask.to_quorum_into(from_mask);
+      ASSERT_EQ(from_mask, q) << sys->name() << " seed " << seed << " draw "
+                              << draw;
+    }
+    // The two streams must end in the same state.
+    EXPECT_EQ(rng_vec.next(), rng_mask.next()) << sys->name();
+  }
+}
+
+// sample() must still agree with the mask path too (it is documented as
+// the same draw at a different representation).
+TEST_P(MaskPathEquivalence, AllocatingSampleAgrees) {
+  const auto sys = GetParam()();
+  math::Rng rng_a(7), rng_b(7);
+  QuorumBitset mask;
+  for (int draw = 0; draw < 50; ++draw) {
+    const Quorum expected = sys->sample(rng_a);
+    sys->sample_mask(mask, rng_b);
+    ASSERT_EQ(mask.to_quorum(), expected) << sys->name();
+  }
+}
+
+TEST_P(MaskPathEquivalence, LivenessChecksAgreeOnRandomMasks) {
+  const auto sys = GetParam()();
+  const std::uint32_t n = sys->universe_size();
+  math::Rng rng(99);
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    const math::BernoulliBlockSampler dead(p);
+    for (int trial = 0; trial < 200; ++trial) {
+      QuorumBitset alive(n);
+      std::uint64_t* words = alive.word_data();
+      for (std::size_t i = 0; i < alive.word_count(); ++i) {
+        words[i] = ~dead.draw_block(rng);
+      }
+      alive.mask_padding();
+      std::vector<bool> alive_vec(n, false);
+      for (std::uint32_t u = 0; u < n; ++u) {
+        if (alive.test(u)) alive_vec[u] = true;
+      }
+      ASSERT_EQ(sys->has_live_quorum_mask(alive),
+                sys->has_live_quorum(alive_vec))
+          << sys->name() << " p=" << p << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConstructions, MaskPathEquivalence,
+                         ::testing::Values(&make_threshold, &make_grid,
+                                           &make_big_grid, &make_wall,
+                                           &make_weighted, &make_singleton,
+                                           &make_set_system,
+                                           &make_random_subset));
+
+// The batched-Bernoulli failure-probability estimator must return
+// bit-identical Proportions through the word-parallel liveness path and
+// the scalar vector<bool> reference path, at every thread count — both
+// paths see the same alive masks, so any disagreement is a bug in a
+// construction's has_live_quorum_mask.
+TEST(FailureProbabilityPaths, BatchedMatchesScalarBitForBit) {
+  const std::vector<std::shared_ptr<const QuorumSystem>> systems = {
+      make_threshold(), make_grid(), make_big_grid(), make_wall(),
+      make_weighted(), make_set_system(), make_random_subset()};
+  for (const auto& sys : systems) {
+    for (double p : {0.25, 0.5, 0.61}) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> results;
+      for (unsigned threads : {1u, 2u, 8u}) {
+        core::Estimator engine({threads});
+        math::Rng rng_fast(4242), rng_ref(4242);
+        const auto fast = core::estimate_failure_probability(
+            *sys, p, 20000, rng_fast, engine,
+            core::LivenessCheck::kWordParallel);
+        const auto ref = core::estimate_failure_probability(
+            *sys, p, 20000, rng_ref, engine,
+            core::LivenessCheck::kScalarReference);
+        EXPECT_EQ(fast.successes(), ref.successes())
+            << sys->name() << " p=" << p << " threads=" << threads;
+        EXPECT_EQ(fast.trials(), ref.trials());
+        results.emplace_back(fast.successes(), fast.trials());
+      }
+      // And thread count changes nothing.
+      EXPECT_EQ(results[0], results[1]) << sys->name() << " p=" << p;
+      EXPECT_EQ(results[0], results[2]) << sys->name() << " p=" << p;
+    }
+  }
+}
+
+// The block sampler itself: dyadic probabilities resolve in exactly the
+// digit count of their binary expansion (p = 1/2 -> one word per 64
+// trials), and the marginal success rate is p for dyadic and non-dyadic
+// probabilities alike.
+TEST(BernoulliBlock, HalfUsesExactlyOneWordPerBlock) {
+  const math::BernoulliBlockSampler sampler(0.5);
+  math::Rng rng(31), mirror(31);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t block = sampler.draw_block(rng);
+    // Digit 1 at the top level: success exactly where the word bit is 0.
+    EXPECT_EQ(block, ~mirror.next());
+  }
+  // Streams in lockstep: exactly one word consumed per block.
+  EXPECT_EQ(rng.next(), mirror.next());
+}
+
+TEST(BernoulliBlock, MarginalRateMatchesP) {
+  math::Rng rng(37);
+  for (double p : {0.5, 0.25, 0.3, 0.875, 1e-3, 0.999}) {
+    const math::BernoulliBlockSampler sampler(p);
+    std::uint64_t successes = 0;
+    constexpr int kBlocks = 20000;  // 1.28M trials
+    for (int i = 0; i < kBlocks; ++i) {
+      successes += quorum::popcount64(sampler.draw_block(rng));
+    }
+    const double rate = static_cast<double>(successes) / (64.0 * kBlocks);
+    // ~4.4 sigma of binomial noise.
+    const double sigma = std::sqrt(p * (1 - p) / (64.0 * kBlocks));
+    EXPECT_NEAR(rate, p, 4.4 * sigma + 1e-12) << "p=" << p;
+  }
+}
+
+TEST(BernoulliBlock, ExtremesAreConstant) {
+  math::Rng rng(41);
+  const math::BernoulliBlockSampler never(0.0);
+  const math::BernoulliBlockSampler always(1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(never.draw_block(rng), 0u);
+    EXPECT_EQ(always.draw_block(rng), ~0ULL);
+  }
+}
+
+}  // namespace
+}  // namespace pqs
