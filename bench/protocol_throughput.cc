@@ -1,0 +1,292 @@
+// End-to-end protocol throughput: the replica stack under load.
+//
+// Drives N independent InstantCluster shards (each a full server set plus a
+// single-writer client loop) over a worker pool, running a Zipfian
+// read/write mix from workload/, and reports write/read ops/sec for the two
+// quorum draw paths side by side:
+//
+//   allocating — the original flow: QuorumSystem::sample() returning a
+//                fresh sorted vector per op, Server::process() returning an
+//                Outbound vector per message;
+//   mask       — the zero-allocation flow: sample_mask into per-cluster
+//                bitset scratch, direct Server::apply_write/serve_read
+//                calls, results materialized into reused vectors.
+//
+// Both paths draw the same member sets from the same rng streams, so every
+// aggregate counter (reads, writes, stale reads, per-server access
+// checksum) must match bit for bit between them — and, because shards are
+// self-contained and folded in index order, must be identical at any
+// thread count. The bench verifies both properties and exits nonzero on
+// any mismatch, which makes it a functional gate as well as a perf report.
+//
+// A global operator new/delete override counts heap allocations, so the
+// "allocs/op" column is measured, not asserted: the mask path's figure is
+// amortized setup (scratch growth, the per-key map) and tends to zero with
+// the op count; the allocating path pays per operation.
+//
+// Flags: --threads=N (pool size, 0 = hardware), --samples=N (ops per
+// shard; default 100000).
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/random_subset_system.h"
+#include "math/rng.h"
+#include "quorum/bitset.h"
+#include "quorum/grid.h"
+#include "quorum/threshold.h"
+#include "replica/instant_cluster.h"
+#include "util/worker_pool.h"
+#include "workload/workload.h"
+
+// ---- allocation counter ---------------------------------------------------
+
+static std::atomic<std::uint64_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pqs {
+namespace {
+
+using replica::DrawPath;
+using replica::InstantCluster;
+
+constexpr std::uint32_t kShards = 8;
+
+std::shared_ptr<const quorum::QuorumSystem> make_system(int which) {
+  switch (which) {
+    case 0:
+      return std::make_shared<quorum::ThresholdSystem>(
+          quorum::ThresholdSystem::majority(100));
+    case 1:
+      return std::make_shared<quorum::GridSystem>(quorum::GridSystem(10, 10));
+    default:
+      return std::make_shared<core::RandomSubsetSystem>(100, 30);
+  }
+}
+
+// The original op loop, reproduced for the A/B: per-op result structs from
+// the allocating draw path (which also dispatches through process() and
+// its Outbound vectors), with the same key/mix draws as
+// workload::run_workload_into so the two runners stay counter-identical.
+workload::WorkloadReport run_legacy(InstantCluster& cluster,
+                                    const workload::WorkloadSpec& spec,
+                                    math::Rng& rng) {
+  const workload::ZipfianKeys keys(spec.keys, spec.zipf_exponent);
+  workload::WorkloadReport report;
+  report.server_accesses.assign(cluster.universe_size(), 0);
+  std::unordered_map<std::uint64_t, std::int64_t> last_written;
+  std::int64_t next_value = 0;
+  for (std::uint64_t op = 0; op < spec.operations; ++op) {
+    const std::uint64_t key = keys.sample(rng);
+    if (rng.chance(spec.read_fraction)) {
+      ++report.reads;
+      const auto r = cluster.read(key);
+      for (auto u : r.quorum) ++report.server_accesses[u];
+      const auto expected = last_written.find(key);
+      if (expected == last_written.end()) {
+        ++report.empty_reads;
+      } else if (!r.selection.has_value) {
+        ++report.empty_reads;
+        ++report.stale_reads;
+      } else if (r.selection.record.value != expected->second) {
+        ++report.stale_reads;
+      }
+    } else {
+      ++report.writes;
+      const auto w = cluster.write(key, ++next_value);
+      for (auto u : w.quorum) ++report.server_accesses[u];
+      last_written[key] = next_value;
+    }
+  }
+  return report;
+}
+
+struct Aggregate {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t stale_reads = 0;
+  std::uint64_t empty_reads = 0;
+  std::uint64_t access_checksum = 0;  // position-weighted, order-sensitive
+
+  bool operator==(const Aggregate& o) const {
+    return reads == o.reads && writes == o.writes &&
+           stale_reads == o.stale_reads && empty_reads == o.empty_reads &&
+           access_checksum == o.access_checksum;
+  }
+};
+
+Aggregate fold(const std::vector<workload::WorkloadReport>& reports) {
+  Aggregate agg;
+  for (const auto& r : reports) {
+    agg.reads += r.reads;
+    agg.writes += r.writes;
+    agg.stale_reads += r.stale_reads;
+    agg.empty_reads += r.empty_reads;
+    for (std::size_t u = 0; u < r.server_accesses.size(); ++u) {
+      agg.access_checksum +=
+          (static_cast<std::uint64_t>(u) + 1) * r.server_accesses[u];
+    }
+  }
+  return agg;
+}
+
+struct RunResult {
+  Aggregate aggregate;
+  double seconds = 0.0;
+  double allocs_per_op = 0.0;
+};
+
+RunResult run_shards(const std::shared_ptr<const quorum::QuorumSystem>& sys,
+                     DrawPath path, std::uint64_t ops_per_shard,
+                     unsigned threads) {
+  workload::WorkloadSpec spec;
+  spec.keys = 64;
+  spec.zipf_exponent = 0.99;
+  spec.read_fraction = 0.5;
+  spec.operations = ops_per_shard;
+
+  std::vector<std::unique_ptr<InstantCluster>> clusters;
+  clusters.reserve(kShards);
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    InstantCluster::Config cfg;
+    cfg.quorums = sys;
+    cfg.seed = 1000003ULL * (s + 1);
+    cfg.draw_path = path;
+    clusters.push_back(std::make_unique<InstantCluster>(cfg));
+  }
+  std::vector<workload::WorkloadReport> reports(kShards);
+
+  util::WorkerPool pool(threads);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.run(kShards, [&](std::uint64_t s) {
+    math::Rng rng(7777 + s);
+    if (path == DrawPath::kMask) {
+      workload::run_workload_into(*clusters[s], spec, rng, reports[s]);
+    } else {
+      reports[s] = run_legacy(*clusters[s], spec, rng);
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  RunResult result;
+  result.aggregate = fold(reports);
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.allocs_per_op =
+      static_cast<double>(after - before) /
+      static_cast<double>(ops_per_shard * kShards);
+  return result;
+}
+
+// Raw draw throughput: the three draw entry points plus the batched one,
+// single-threaded so the numbers isolate per-draw cost.
+void raw_draw_section(const std::shared_ptr<const quorum::QuorumSystem>& sys,
+                      std::uint64_t draws) {
+  const std::uint32_t n = sys->universe_size();
+  math::Rng rng(404);
+  const auto time_loop = [&](const char* label, auto&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("[draw] system=%s entry=%s draws/sec=%.3g\n",
+                sys->name().c_str(), label,
+                static_cast<double>(draws) / (sec > 0 ? sec : 1e-9));
+  };
+  time_loop("sample", [&] {
+    for (std::uint64_t i = 0; i < draws; ++i) {
+      const auto q = sys->sample(rng);
+      if (q.empty()) std::abort();
+    }
+  });
+  time_loop("sample_mask", [&] {
+    quorum::QuorumBitset mask(n);
+    for (std::uint64_t i = 0; i < draws; ++i) sys->sample_mask(mask, rng);
+  });
+  time_loop("sample_masks[32]", [&] {
+    std::vector<quorum::QuorumBitset> batch(32, quorum::QuorumBitset(n));
+    for (std::uint64_t i = 0; i < draws; i += 32) {
+      sys->sample_masks(batch.data(), 32, rng);
+    }
+  });
+}
+
+int main_impl(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  const std::uint64_t ops_per_shard = opts.samples_or(100000);
+  const unsigned threads = opts.threads;
+
+  std::printf(
+      "protocol_throughput: %u shards x %" PRIu64
+      " ops, zipf(0.99) over 64 keys, 50%% reads\n",
+      kShards, ops_per_shard);
+
+  bool ok = true;
+  for (int which = 0; which < 3; ++which) {
+    const auto sys = make_system(which);
+    const RunResult legacy =
+        run_shards(sys, DrawPath::kAllocating, ops_per_shard, threads);
+    const RunResult mask =
+        run_shards(sys, DrawPath::kMask, ops_per_shard, threads);
+    // Same draws, same protocol: every counter matches or the bench fails.
+    if (!(legacy.aggregate == mask.aggregate)) {
+      std::printf("MISMATCH: %s aggregates differ between draw paths\n",
+                  sys->name().c_str());
+      ok = false;
+    }
+    // And thread scheduling must not be able to change the fold.
+    const RunResult mask_serial =
+        run_shards(sys, DrawPath::kMask, ops_per_shard, 1);
+    if (!(mask_serial.aggregate == mask.aggregate)) {
+      std::printf("MISMATCH: %s aggregates differ between thread counts\n",
+                  sys->name().c_str());
+      ok = false;
+    }
+    const double total_ops =
+        static_cast<double>(ops_per_shard) * static_cast<double>(kShards);
+    std::printf(
+        "[protocol] system=%s path=allocating ops/sec=%.3g allocs/op=%.2f "
+        "stale=%" PRIu64 " checksum=%" PRIu64 "\n",
+        sys->name().c_str(), total_ops / legacy.seconds, legacy.allocs_per_op,
+        legacy.aggregate.stale_reads, legacy.aggregate.access_checksum);
+    std::printf(
+        "[protocol] system=%s path=mask       ops/sec=%.3g allocs/op=%.2f "
+        "stale=%" PRIu64 " checksum=%" PRIu64 "\n",
+        sys->name().c_str(), total_ops / mask.seconds, mask.allocs_per_op,
+        mask.aggregate.stale_reads, mask.aggregate.access_checksum);
+    std::printf("[protocol] system=%s speedup=%.2fx\n", sys->name().c_str(),
+                legacy.seconds / mask.seconds);
+  }
+
+  const std::uint64_t draws = ops_per_shard < 8192 ? 32768 : 1u << 20;
+  raw_draw_section(make_system(0), draws);
+  raw_draw_section(make_system(1), draws);
+
+  std::printf(ok ? "OK: aggregates bit-identical across draw paths and "
+                   "thread counts\n"
+                 : "FAILED: see mismatches above\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pqs
+
+int main(int argc, char** argv) { return pqs::main_impl(argc, argv); }

@@ -17,6 +17,34 @@ void merge_proportion(math::Proportion& acc, const math::Proportion& part) {
   acc.add(part.successes(), part.trials());
 }
 
+// Masks per sample_masks() chunk in the pair estimators (8 trials of two
+// draws each). Chunking amortizes the virtual draw dispatch; the rng stream
+// is untouched — sample_masks consumes exactly what the per-draw calls did,
+// so estimates stay bit-identical at any chunk size.
+constexpr std::size_t kDrawBatch = 16;
+
+// Runs fn(mask_a, mask_b) once per trial, drawing quorum pairs through the
+// batched entry point in [a0 b0 a1 b1 ...] order — the exact draw order of
+// the former per-trial sample_mask pairs.
+template <typename Fn>
+math::Proportion pair_trials(const quorum::QuorumSystem& system,
+                             std::uint64_t trials, math::Rng& rng, Fn&& fn) {
+  std::vector<quorum::QuorumBitset> batch(
+      kDrawBatch, quorum::QuorumBitset(system.universe_size()));
+  math::Proportion result;
+  std::uint64_t done = 0;
+  while (done < trials) {
+    const std::size_t pairs = static_cast<std::size_t>(
+        std::min<std::uint64_t>(trials - done, kDrawBatch / 2));
+    system.sample_masks(batch.data(), pairs * 2, rng);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      result.add(fn(batch[2 * i], batch[2 * i + 1]));
+    }
+    done += pairs;
+  }
+  return result;
+}
+
 // One trial's alive mask: every server dead independently with probability
 // p, drawn 64 Bernoulli lanes at a time.
 void fill_alive_mask(const math::BernoulliBlockSampler& dead, math::Rng& rng,
@@ -34,18 +62,14 @@ void fill_alive_mask(const math::BernoulliBlockSampler& dead, math::Rng& rng,
 math::Proportion estimate_nonintersection(const quorum::QuorumSystem& system,
                                           std::uint64_t samples,
                                           math::Rng& rng, Estimator& engine) {
-  const std::uint32_t n = system.universe_size();
   return engine.run_trials<math::Proportion>(
       samples, rng,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
-        quorum::QuorumBitset mask_a(n), mask_b(n);
-        math::Proportion result;
-        for (std::uint64_t s = 0; s < shard_samples; ++s) {
-          system.sample_mask(mask_a, shard_rng);
-          system.sample_mask(mask_b, shard_rng);
-          result.add(!mask_a.intersects(mask_b));
-        }
-        return result;
+        return pair_trials(
+            system, shard_samples, shard_rng,
+            [](const quorum::QuorumBitset& a, const quorum::QuorumBitset& b) {
+              return !a.intersects(b);
+            });
       },
       merge_proportion);
 }
@@ -54,19 +78,16 @@ math::Proportion estimate_dissemination_epsilon(
     const quorum::QuorumSystem& system, std::uint32_t b, std::uint64_t samples,
     math::Rng& rng, Estimator& engine) {
   PQS_REQUIRE(b <= system.universe_size(), "byzantine count");
-  const std::uint32_t n = system.universe_size();
   return engine.run_trials<math::Proportion>(
       samples, rng,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
-        quorum::QuorumBitset mask_a(n), mask_b(n);
-        math::Proportion result;
-        for (std::uint64_t s = 0; s < shard_samples; ++s) {
-          system.sample_mask(mask_a, shard_rng);
-          system.sample_mask(mask_b, shard_rng);
-          // Failure event: every common server is Byzantine (Q ∩ Q' ⊆ B).
-          result.add(mask_a.intersection_count_from(mask_b, b) == 0);
-        }
-        return result;
+        return pair_trials(
+            system, shard_samples, shard_rng,
+            [b](const quorum::QuorumBitset& a, const quorum::QuorumBitset& q) {
+              // Failure event: every common server is Byzantine
+              // (Q ∩ Q' ⊆ B).
+              return a.intersection_count_from(q, b) == 0;
+            });
       },
       merge_proportion);
 }
@@ -76,21 +97,18 @@ math::Proportion estimate_masking_epsilon(const quorum::QuorumSystem& system,
                                           std::uint64_t samples,
                                           math::Rng& rng, Estimator& engine) {
   PQS_REQUIRE(b <= system.universe_size(), "byzantine count");
-  const std::uint32_t n = system.universe_size();
   return engine.run_trials<math::Proportion>(
       samples, rng,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
-        quorum::QuorumBitset read_mask(n), write_mask(n);
-        math::Proportion result;
-        for (std::uint64_t s = 0; s < shard_samples; ++s) {
-          system.sample_mask(read_mask, shard_rng);
-          system.sample_mask(write_mask, shard_rng);
-          const std::uint32_t faulty_in_read = read_mask.count_below(b);
-          const std::uint32_t fresh_correct =
-              read_mask.intersection_count_from(write_mask, b);
-          result.add(faulty_in_read >= k || fresh_correct < k);
-        }
-        return result;
+        return pair_trials(
+            system, shard_samples, shard_rng,
+            [b, k](const quorum::QuorumBitset& read_mask,
+                   const quorum::QuorumBitset& write_mask) {
+              const std::uint32_t faulty_in_read = read_mask.count_below(b);
+              const std::uint32_t fresh_correct =
+                  read_mask.intersection_count_from(write_mask, b);
+              return faulty_in_read >= k || fresh_correct < k;
+            });
       },
       merge_proportion);
 }
@@ -104,11 +122,18 @@ std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
       samples, rng,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
         std::vector<std::uint64_t> shard_hits(n, 0);
-        quorum::QuorumBitset mask(n);
-        for (std::uint64_t s = 0; s < shard_samples; ++s) {
-          system.sample_mask(mask, shard_rng);
-          mask.for_each_set_bit(
-              [&shard_hits](quorum::ServerId u) { ++shard_hits[u]; });
+        std::vector<quorum::QuorumBitset> batch(kDrawBatch,
+                                                quorum::QuorumBitset(n));
+        std::uint64_t done = 0;
+        while (done < shard_samples) {
+          const std::size_t draws = static_cast<std::size_t>(
+              std::min<std::uint64_t>(shard_samples - done, kDrawBatch));
+          system.sample_masks(batch.data(), draws, shard_rng);
+          for (std::size_t i = 0; i < draws; ++i) {
+            batch[i].for_each_set_bit(
+                [&shard_hits](quorum::ServerId u) { ++shard_hits[u]; });
+          }
+          done += draws;
         }
         return shard_hits;
       },

@@ -101,6 +101,15 @@ void RandomSubsetSystem::sample_mask(quorum::QuorumBitset& out,
   math::sample_without_replacement_bits(n_, q_, rng, out.word_data());
 }
 
+void RandomSubsetSystem::sample_masks(quorum::QuorumBitset* out,
+                                      std::size_t count,
+                                      math::Rng& rng) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].resize(n_);
+    math::sample_without_replacement_bits(n_, q_, rng, out[i].word_data());
+  }
+}
+
 double RandomSubsetSystem::load() const {
   // Every server appears in C(n-1, q-1) of the C(n, q) quorums, so the
   // uniform strategy induces load q/n on each (Section 3.4).

@@ -57,6 +57,8 @@ class RandomSubsetSystem final : public quorum::QuorumSystem {
   quorum::Quorum sample(math::Rng& rng) const override;
   void sample_into(quorum::Quorum& out, math::Rng& rng) const override;
   void sample_mask(quorum::QuorumBitset& out, math::Rng& rng) const override;
+  void sample_masks(quorum::QuorumBitset* out, std::size_t count,
+                    math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override { return q_; }
   double load() const override;
   std::uint32_t fault_tolerance() const override { return n_ - q_ + 1; }

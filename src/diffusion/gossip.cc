@@ -1,6 +1,10 @@
 #include "diffusion/gossip.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "math/sampling.h"
+#include "quorum/bitset.h"
 #include "util/require.h"
 
 namespace pqs::diffusion {
@@ -19,24 +23,34 @@ RoundStats GossipEngine::run_round(
   const auto n = static_cast<std::uint32_t>(servers.size());
   PQS_REQUIRE(n >= 2, "gossip needs at least two servers");
   const std::uint32_t fanout = std::min(config_.fanout, n - 1);
+  peer_words_.assign((static_cast<std::size_t>(n) - 1 + 63) / 64, 0);
   for (auto& sender : servers) {
     const auto records = sender->gossip_records();
     if (records.empty()) continue;
-    // Pick fanout distinct peers other than the sender.
-    auto peers = math::sample_without_replacement(n - 1, fanout, rng);
-    for (auto& p : peers) {
-      if (p >= sender->id()) ++p;  // skip self
-    }
-    for (auto p : peers) {
-      replica::Server& receiver = *servers[p];
-      if (receiver.mode() != replica::FaultMode::kCorrect) continue;
-      for (const auto& record : records) {
-        ++stats.pushes;
-        if (config_.verify && !verifier_->verify(record)) {
-          ++stats.rejected;
-          continue;
+    // Pick fanout distinct peers other than the sender, drawn straight into
+    // the reusable word scratch (same subset and rng stream as the former
+    // per-round vector draw; ascending bit order matches the sorted vector).
+    std::fill(peer_words_.begin(), peer_words_.end(), 0);
+    math::sample_without_replacement_bits(n - 1, fanout, rng,
+                                         peer_words_.data());
+    const std::uint32_t sender_id = sender->id();
+    for (std::size_t w = 0; w < peer_words_.size(); ++w) {
+      std::uint64_t word = peer_words_[w];
+      while (word != 0) {
+        std::uint32_t p = static_cast<std::uint32_t>(w) * 64 +
+                          quorum::countr_zero64(word);
+        word &= word - 1;
+        if (p >= sender_id) ++p;  // skip self
+        replica::Server& receiver = *servers[p];
+        if (receiver.mode() != replica::FaultMode::kCorrect) continue;
+        for (const auto& record : records) {
+          ++stats.pushes;
+          if (config_.verify && !verifier_->verify(record)) {
+            ++stats.rejected;
+            continue;
+          }
+          if (receiver.adopt(record)) ++stats.adoptions;
         }
-        if (receiver.adopt(record)) ++stats.adoptions;
       }
     }
   }

@@ -57,6 +57,10 @@ class GossipEngine {
  private:
   GossipConfig config_;
   std::optional<crypto::Verifier> verifier_;
+  // Peer-draw scratch reused across rounds: ceil((n-1)/64) words holding the
+  // fanout peers of the current sender as a bitmask (zero allocation per
+  // round in steady state).
+  std::vector<std::uint64_t> peer_words_;
 };
 
 }  // namespace pqs::diffusion

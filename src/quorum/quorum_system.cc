@@ -16,6 +16,11 @@ void QuorumSystem::sample_mask(QuorumBitset& out, math::Rng& rng) const {
   for (ServerId u : sample(rng)) out.set(u);
 }
 
+void QuorumSystem::sample_masks(QuorumBitset* out, std::size_t count,
+                                math::Rng& rng) const {
+  for (std::size_t i = 0; i < count; ++i) sample_mask(out[i], rng);
+}
+
 bool QuorumSystem::has_live_quorum_mask(const QuorumBitset& alive) const {
   static thread_local std::vector<bool> scratch;
   const std::uint32_t n = universe_size();

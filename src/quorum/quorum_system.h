@@ -11,6 +11,7 @@
 // under their strategy. Both implement this interface.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,6 +52,15 @@ class QuorumSystem {
   // (or whole words) directly, skipping the sorted-vector round trip. The
   // default copies a sample() draw.
   virtual void sample_mask(QuorumBitset& out, math::Rng& rng) const;
+
+  // Draws `count` quorums into out[0..count), in draw order, consuming the
+  // rng exactly as `count` successive sample_mask() calls would — batching
+  // changes dispatch cost, never the stream. The default loops sample_mask;
+  // constructions whose mask fill is non-virtual override to pay one
+  // virtual call per batch instead of one per draw (the estimators and the
+  // protocol throughput harness draw in chunks through this entry point).
+  virtual void sample_masks(QuorumBitset* out, std::size_t count,
+                            math::Rng& rng) const;
 
   // c(Q): size of the smallest quorum.
   virtual std::uint32_t min_quorum_size() const = 0;

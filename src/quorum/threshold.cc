@@ -48,6 +48,16 @@ void ThresholdSystem::sample_mask(QuorumBitset& out, math::Rng& rng) const {
   math::sample_without_replacement_bits(n_, q_, rng, out.word_data());
 }
 
+void ThresholdSystem::sample_masks(QuorumBitset* out, std::size_t count,
+                                   math::Rng& rng) const {
+  // One virtual call per batch; the fill itself is the non-virtual Floyd
+  // draw, so the loop body is identical to sample_mask per element.
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].resize(n_);
+    math::sample_without_replacement_bits(n_, q_, rng, out[i].word_data());
+  }
+}
+
 double ThresholdSystem::load() const {
   // Uniform strategy over all q-subsets: every server carries load q/n,
   // which attains the Naor-Wool optimum for this set system.

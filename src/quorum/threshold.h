@@ -33,6 +33,8 @@ class ThresholdSystem final : public QuorumSystem {
   Quorum sample(math::Rng& rng) const override;
   void sample_into(Quorum& out, math::Rng& rng) const override;
   void sample_mask(QuorumBitset& out, math::Rng& rng) const override;
+  void sample_masks(QuorumBitset* out, std::size_t count,
+                    math::Rng& rng) const override;
   std::uint32_t min_quorum_size() const override { return q_; }
   double load() const override;
   std::uint32_t fault_tolerance() const override { return n_ - q_ + 1; }

@@ -20,20 +20,31 @@ Client::Client(sim::NodeId node, Config config, sim::Simulator& simulator,
   PQS_REQUIRE(config_.timeout > 0, "client timeout");
 }
 
+void Client::draw_quorum(quorum::Quorum& out) {
+  if (config_.draw_path == DrawPath::kMask) {
+    config_.quorums->sample_mask(draw_mask_, rng_);
+    draw_mask_.to_quorum_into(out);
+  } else {
+    out = config_.quorums->sample(rng_);
+  }
+}
+
+void Client::send_to_quorum(const quorum::Quorum& quorum,
+                            const Message& message) {
+  for (auto u : quorum) network_.send(node_, u, message);
+}
+
 void Client::write(VariableId variable, std::int64_t value,
                    std::function<void(const WriteOutcome&)> done) {
   const OpId op = next_op_++;
   PendingWrite pending;
-  pending.outcome.quorum = config_.quorums->sample(rng_);
+  draw_quorum(pending.outcome.quorum);
   pending.outcome.timestamp = (++write_seq_ << 16) | config_.writer_id;
   pending.done = std::move(done);
   const auto record = signer_.sign(variable, value, pending.outcome.timestamp,
                                    config_.writer_id);
-  const auto quorum = pending.outcome.quorum;
-  writes_.emplace(op, std::move(pending));
-  for (auto u : quorum) {
-    network_.send(node_, u, WriteRequest{op, record});
-  }
+  const auto it = writes_.emplace(op, std::move(pending)).first;
+  send_to_quorum(it->second.outcome.quorum, WriteRequest{op, record});
   simulator_.schedule(config_.timeout, [this, op] { finish_write(op, false); });
 }
 
@@ -41,13 +52,10 @@ void Client::read(VariableId variable,
                   std::function<void(const ReadOutcome&)> done) {
   const OpId op = next_op_++;
   PendingRead pending;
-  pending.outcome.quorum = config_.quorums->sample(rng_);
+  draw_quorum(pending.outcome.quorum);
   pending.done = std::move(done);
-  const auto quorum = pending.outcome.quorum;
-  reads_.emplace(op, std::move(pending));
-  for (auto u : quorum) {
-    network_.send(node_, u, ReadRequest{op, variable});
-  }
+  const auto it = reads_.emplace(op, std::move(pending)).first;
+  send_to_quorum(it->second.outcome.quorum, ReadRequest{op, variable});
   simulator_.schedule(config_.timeout, [this, op] { finish_read(op, false); });
 }
 

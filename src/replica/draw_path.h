@@ -1,0 +1,30 @@
+// Which QuorumSystem draw entry point the protocol stack uses.
+//
+// The mask path is the production one: quorums are drawn into per-instance
+// QuorumBitset scratch via sample_mask, servers are contacted by walking the
+// set bits, and the sorted-vector form is materialized into the outcome only
+// at the end — zero allocation per operation in steady state. The allocating
+// path is the original sample() flow, kept so benches and the equivalence
+// suite can run the two side by side; both paths draw the same member sets
+// from the same rng stream (the draw-hierarchy contract in quorum_system.h),
+// so for a fixed seed they produce bit-identical outcomes.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::replica {
+
+enum class DrawPath : std::uint8_t {
+  kMask,        // sample_mask into reusable scratch (default)
+  kAllocating,  // sample() returning a fresh sorted vector per draw
+};
+
+inline const char* draw_path_name(DrawPath path) {
+  switch (path) {
+    case DrawPath::kMask: return "mask";
+    case DrawPath::kAllocating: return "allocating";
+  }
+  return "?";
+}
+
+}  // namespace pqs::replica

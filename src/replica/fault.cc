@@ -53,8 +53,13 @@ FaultPlan FaultPlan::random(std::uint32_t n, std::uint32_t count,
                             FaultMode mode, math::Rng& rng) {
   PQS_REQUIRE(count <= n, "more faults than servers");
   FaultPlan plan(n);
-  for (auto u : math::sample_without_replacement(n, count, rng)) {
-    plan.modes_[u] = mode;
+  // Draw the faulty set as a bitmask (thread-local scratch, reused across
+  // plans) instead of a fresh sorted vector; same subset, same rng stream.
+  static thread_local std::vector<std::uint64_t> words;
+  words.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+  math::sample_without_replacement_bits(n, count, rng, words.data());
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if ((words[u >> 6] >> (u & 63)) & 1ULL) plan.modes_[u] = mode;
   }
   return plan;
 }

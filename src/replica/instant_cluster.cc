@@ -40,34 +40,78 @@ WriteResult InstantCluster::write(VariableId variable, std::int64_t value) {
 WriteResult InstantCluster::write_as(std::uint32_t writer, VariableId variable,
                                      std::int64_t value) {
   WriteResult result;
-  result.quorum = config_.quorums->sample(rng_);
-  result.timestamp = next_timestamp(writer);
-  const auto record = signer_.sign(variable, value, result.timestamp, writer);
-  for (auto u : result.quorum) {
-    const auto out = servers_[u]->process(kClientId, WriteRequest{0, record});
-    for (const auto& o : out) {
-      if (std::holds_alternative<WriteAck>(o.message)) ++result.acks;
+  write_as_into(result, writer, variable, value);
+  return result;
+}
+
+void InstantCluster::write_into(WriteResult& result, VariableId variable,
+                                std::int64_t value) {
+  write_as_into(result, 1, variable, value);
+}
+
+void InstantCluster::write_as_into(WriteResult& result, std::uint32_t writer,
+                                   VariableId variable, std::int64_t value) {
+  result.acks = 0;
+  if (config_.draw_path == DrawPath::kMask) {
+    config_.quorums->sample_mask(draw_mask_, rng_);
+    result.timestamp = next_timestamp(writer);
+    const auto record =
+        signer_.sign(variable, value, result.timestamp, writer);
+    draw_mask_.for_each_set_bit([&](quorum::ServerId u) {
+      if (servers_[u]->apply_write(WriteRequest{0, record})) ++result.acks;
+    });
+    draw_mask_.to_quorum_into(result.quorum);
+  } else {
+    // The original flow, preserved verbatim for A/B measurement: allocating
+    // draw, message dispatch through process() and its Outbound vectors.
+    result.quorum = config_.quorums->sample(rng_);
+    result.timestamp = next_timestamp(writer);
+    const auto record =
+        signer_.sign(variable, value, result.timestamp, writer);
+    for (auto u : result.quorum) {
+      const auto out = servers_[u]->process(kClientId, WriteRequest{0, record});
+      for (const auto& o : out) {
+        if (std::holds_alternative<WriteAck>(o.message)) ++result.acks;
+      }
     }
   }
-  return result;
 }
 
 ReadResult InstantCluster::read(VariableId variable) {
   ReadResult result;
-  result.quorum = config_.quorums->sample(rng_);
-  std::vector<ReadReply> replies;
-  for (auto u : result.quorum) {
-    const auto out = servers_[u]->process(kClientId, ReadRequest{0, variable});
-    for (const auto& o : out) {
-      if (const auto* r = std::get_if<ReadReply>(&o.message)) {
-        replies.push_back(*r);
+  read_into(result, variable);
+  return result;
+}
+
+void InstantCluster::read_into(ReadResult& result, VariableId variable) {
+  result.replies = 0;
+  reply_scratch_.clear();
+  if (config_.draw_path == DrawPath::kMask) {
+    config_.quorums->sample_mask(draw_mask_, rng_);
+    draw_mask_.for_each_set_bit([&](quorum::ServerId u) {
+      ReadReply reply;
+      if (servers_[u]->serve_read(ReadRequest{0, variable}, reply)) {
+        reply_scratch_.push_back(reply);
         ++result.replies;
+      }
+    });
+    draw_mask_.to_quorum_into(result.quorum);
+  } else {
+    // Original flow kept for A/B (see write_as_into).
+    result.quorum = config_.quorums->sample(rng_);
+    for (auto u : result.quorum) {
+      const auto out =
+          servers_[u]->process(kClientId, ReadRequest{0, variable});
+      for (const auto& o : out) {
+        if (const auto* r = std::get_if<ReadReply>(&o.message)) {
+          reply_scratch_.push_back(*r);
+          ++result.replies;
+        }
       }
     }
   }
   result.selection =
-      select(config_.mode, replies, &verifier_, config_.read_threshold);
-  return result;
+      select(config_.mode, reply_scratch_, &verifier_, config_.read_threshold);
 }
 
 }  // namespace pqs::replica

@@ -13,7 +13,9 @@
 
 #include "crypto/mac.h"
 #include "math/rng.h"
+#include "quorum/bitset.h"
 #include "quorum/quorum_system.h"
+#include "replica/draw_path.h"
 #include "replica/fault.h"
 #include "replica/read_rules.h"
 #include "replica/server.h"
@@ -40,6 +42,10 @@ class InstantCluster {
     std::uint32_t read_threshold = 1;  // masking k
     std::uint64_t seed = 1;
     std::uint64_t writer_key_seed = 0x517e9a11;
+    // kMask (default) draws quorums into per-instance bitset scratch and
+    // walks the bits; kAllocating keeps the original sample() flow for A/B
+    // measurement. Same rng stream, bit-identical outcomes (draw_path.h).
+    DrawPath draw_path = DrawPath::kMask;
   };
 
   // All servers correct.
@@ -61,6 +67,17 @@ class InstantCluster {
   WriteResult write_as(std::uint32_t writer, VariableId variable,
                        std::int64_t value);
 
+  // In-place variants: identical protocol execution, but `result` is
+  // overwritten in place so its quorum vector's capacity is reused across
+  // operations. Together with the kMask draw path and the servers' direct
+  // entry points, the steady-state hot loop does not allocate. write/read
+  // above are thin wrappers over these.
+  void write_into(WriteResult& result, VariableId variable,
+                  std::int64_t value);
+  void write_as_into(WriteResult& result, std::uint32_t writer,
+                     VariableId variable, std::int64_t value);
+  void read_into(ReadResult& result, VariableId variable);
+
   Server& server(std::uint32_t id) { return *servers_.at(id); }
   const Server& server(std::uint32_t id) const { return *servers_.at(id); }
   std::vector<std::unique_ptr<Server>>& servers() { return servers_; }
@@ -78,6 +95,10 @@ class InstantCluster {
   math::Rng rng_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::uint64_t> writer_seq_;
+  // Per-instance draw and reply scratch: the quorum stays a mask while the
+  // operation runs and is materialized into the result at the end.
+  quorum::QuorumBitset draw_mask_;
+  std::vector<ReadReply> reply_scratch_;
   static constexpr std::uint32_t kClientId = 0xffffffffu;
 };
 

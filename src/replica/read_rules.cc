@@ -1,7 +1,7 @@
 #include "replica/read_rules.h"
 
 #include <algorithm>
-#include <map>
+#include <cstddef>
 #include <tuple>
 
 #include "util/require.h"
@@ -51,29 +51,46 @@ ReadSelection select_masking(const std::vector<ReadReply>& replies,
                              std::uint32_t k) {
   PQS_REQUIRE(k >= 1, "masking threshold");
   // Group identical records; a record enters V' only with >= k vouchers
-  // (the set C of Definition 5.1's read protocol, step 3).
-  std::map<std::tuple<VariableId, std::int64_t, std::uint64_t, std::uint32_t>,
-           std::uint32_t>
-      votes;
-  for (const auto& r : replies) {
-    if (!r.has_value) continue;
-    // Tags are deliberately ignored: masking handles non-self-verifying
-    // data, so agreement among >= k servers is the only evidence.
-    ++votes[{r.record.variable, r.record.value, r.record.timestamp,
-             r.record.writer}];
-  }
+  // (the set C of Definition 5.1's read protocol, step 3). The reply set is
+  // at most quorum-sized, so grouping is an O(r^2) scan over the caller's
+  // vector rather than a heap-allocated map — the selection rules stay
+  // allocation-free on the protocol hot path. Winner: highest timestamp;
+  // timestamp ties break toward the lexicographically smallest
+  // (variable, value, timestamp, writer) tuple, matching the ascending map
+  // iteration this replaces.
+  // Tags are deliberately ignored: masking handles non-self-verifying
+  // data, so agreement among >= k servers is the only evidence.
+  const auto key_of = [](const ReadReply& r) {
+    return std::make_tuple(r.record.variable, r.record.value,
+                           r.record.timestamp, r.record.writer);
+  };
   ReadSelection out;
-  for (const auto& [key, count] : votes) {
+  auto best_key = std::make_tuple(VariableId{0}, std::int64_t{0},
+                                  std::uint64_t{0}, std::uint32_t{0});
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].has_value) continue;
+    const auto key = key_of(replies[i]);
+    bool first = true;
+    for (std::size_t j = 0; j < i && first; ++j) {
+      if (replies[j].has_value && key_of(replies[j]) == key) first = false;
+    }
+    if (!first) continue;  // this record's votes were already counted
+    std::uint32_t count = 0;
+    for (std::size_t j = i; j < replies.size(); ++j) {
+      if (replies[j].has_value && key_of(replies[j]) == key) ++count;
+    }
     if (count < k) continue;
-    const auto& [variable, value, timestamp, writer] = key;
-    if (!out.has_value || timestamp > out.record.timestamp) {
+    const auto timestamp = std::get<2>(key);
+    if (!out.has_value || timestamp > out.record.timestamp ||
+        (timestamp == out.record.timestamp && key < best_key)) {
       out.has_value = true;
-      out.record.variable = variable;
-      out.record.value = value;
+      out.record.variable = std::get<0>(key);
+      out.record.value = std::get<1>(key);
       out.record.timestamp = timestamp;
-      out.record.writer = writer;
+      out.record.writer = std::get<3>(key);
       out.record.tag = 0;
       out.vouchers = count;
+      best_key = key;
     }
   }
   return out;

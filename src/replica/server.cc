@@ -40,33 +40,42 @@ std::vector<Outbound> Server::process(std::uint32_t from,
 
 std::vector<Outbound> Server::handle_write(std::uint32_t from,
                                            const WriteRequest& w) {
-  switch (mode_) {
-    case FaultMode::kCorrect: {
-      adopt(w.record);
-      ++writes_accepted_;
-      return {{from, WriteAck{w.op, id_}}};
-    }
-    case FaultMode::kSuppress:
-      return {};  // omission: never acknowledges
-    case FaultMode::kStaleReplay:
-    case FaultMode::kForge:
-    case FaultMode::kCollude: {
-      // Pretends to accept (acks) but does not durably adopt; it keeps the
-      // record only in first_store_ so stale replay has something genuine.
-      if (first_store_.count(w.record.variable) == 0) {
-        first_store_.emplace(w.record.variable, w.record);
-      }
-      return {{from, WriteAck{w.op, id_}}};
-    }
-    case FaultMode::kCrash:
-      break;
-  }
+  if (apply_write(w)) return {{from, WriteAck{w.op, id_}}};
   return {};
 }
 
 std::vector<Outbound> Server::handle_read(std::uint32_t from,
                                           const ReadRequest& r) {
   ReadReply reply;
+  if (serve_read(r, reply)) return {{from, reply}};
+  return {};
+}
+
+bool Server::apply_write(const WriteRequest& w) {
+  switch (mode_) {
+    case FaultMode::kCorrect:
+      adopt(w.record);
+      ++writes_accepted_;
+      return true;
+    case FaultMode::kSuppress:
+      return false;  // omission: never acknowledges
+    case FaultMode::kStaleReplay:
+    case FaultMode::kForge:
+    case FaultMode::kCollude:
+      // Pretends to accept (acks) but does not durably adopt; it keeps the
+      // record only in first_store_ so stale replay has something genuine.
+      if (first_store_.count(w.record.variable) == 0) {
+        first_store_.emplace(w.record.variable, w.record);
+      }
+      return true;
+    case FaultMode::kCrash:
+      break;
+  }
+  return false;
+}
+
+bool Server::serve_read(const ReadRequest& r, ReadReply& reply) {
+  reply = ReadReply{};
   reply.op = r.op;
   reply.server = id_;
   switch (mode_) {
@@ -76,17 +85,17 @@ std::vector<Outbound> Server::handle_read(std::uint32_t from,
         reply.has_value = true;
         reply.record = *rec;
       }
-      return {{from, reply}};
+      return true;
     }
     case FaultMode::kSuppress:
-      return {};
+      return false;
     case FaultMode::kStaleReplay: {
       const auto it = first_store_.find(r.variable);
       if (it != first_store_.end()) {
         reply.has_value = true;
         reply.record = it->second;  // genuine tag, stale timestamp
       }
-      return {{from, reply}};
+      return true;
     }
     case FaultMode::kForge: {
       reply.has_value = true;
@@ -95,17 +104,17 @@ std::vector<Outbound> Server::handle_read(std::uint32_t from,
       reply.record.timestamp = (~0ULL >> 8) - rng_.below(1024);
       reply.record.writer = 0;
       reply.record.tag = rng_.next();  // cannot compute a valid tag
-      return {{from, reply}};
+      return true;
     }
     case FaultMode::kCollude: {
       reply.has_value = true;
       reply.record = collude_plan_->forged(r.variable);
-      return {{from, reply}};
+      return true;
     }
     case FaultMode::kCrash:
       break;
   }
-  return {};
+  return false;
 }
 
 const crypto::SignedRecord* Server::find(VariableId variable) const {

@@ -40,6 +40,15 @@ class Server {
   // the replies to send. Crashed servers return nothing and change nothing.
   std::vector<Outbound> process(std::uint32_t from, const Message& message);
 
+  // Direct-call entry points for the zero-allocation protocol path
+  // (InstantCluster): the same state transitions and fault behaviours as
+  // process(), minus the Outbound vector. apply_write returns whether the
+  // server acknowledges; serve_read fills `reply` and returns whether the
+  // server answers at all. process() routes through these, so the wire and
+  // direct paths cannot diverge.
+  bool apply_write(const WriteRequest& w);
+  bool serve_read(const ReadRequest& r, ReadReply& reply);
+
   // Current record for a variable (nullptr if none). Test/analysis access;
   // reflects the server's true state regardless of its advertised lies.
   const crypto::SignedRecord* find(VariableId variable) const;

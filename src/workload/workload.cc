@@ -46,20 +46,36 @@ double WorkloadReport::measured_load() const {
 
 WorkloadReport run_workload(replica::InstantCluster& cluster,
                             const WorkloadSpec& spec, math::Rng& rng) {
+  WorkloadReport report;
+  run_workload_into(cluster, spec, rng, report);
+  return report;
+}
+
+void run_workload_into(replica::InstantCluster& cluster,
+                       const WorkloadSpec& spec, math::Rng& rng,
+                       WorkloadReport& report) {
   PQS_REQUIRE(spec.operations >= 1, "workload needs operations");
   PQS_REQUIRE(spec.read_fraction >= 0.0 && spec.read_fraction <= 1.0,
               "read fraction");
   const ZipfianKeys keys(spec.keys, spec.zipf_exponent);
-  WorkloadReport report;
+  report.reads = 0;
+  report.writes = 0;
+  report.stale_reads = 0;
+  report.empty_reads = 0;
   report.server_accesses.assign(cluster.universe_size(), 0);
   std::unordered_map<std::uint64_t, std::int64_t> last_written;
   std::int64_t next_value = 0;
+  // Operation scratch: the result quorum vectors keep their capacity, so
+  // after the first few ops the loop body allocates nothing on the kMask
+  // path.
+  replica::WriteResult w;
+  replica::ReadResult r;
 
   for (std::uint64_t op = 0; op < spec.operations; ++op) {
     const std::uint64_t key = keys.sample(rng);
     if (rng.chance(spec.read_fraction)) {
       ++report.reads;
-      const auto r = cluster.read(key);
+      cluster.read_into(r, key);
       for (auto u : r.quorum) ++report.server_accesses[u];
       const auto expected = last_written.find(key);
       if (expected == last_written.end()) {
@@ -73,12 +89,11 @@ WorkloadReport run_workload(replica::InstantCluster& cluster,
       }
     } else {
       ++report.writes;
-      const auto w = cluster.write(key, ++next_value);
+      cluster.write_into(w, key, ++next_value);
       for (auto u : w.quorum) ++report.server_accesses[u];
       last_written[key] = next_value;
     }
   }
-  return report;
 }
 
 }  // namespace pqs::workload
