@@ -6,10 +6,12 @@
 // *shape* (who wins, by what factor, where the crossovers fall) is what
 // reproduces the paper.
 //
-// Benches that run Monte-Carlo estimators accept two flags, parsed by
+// Benches that run Monte-Carlo estimators accept these flags, parsed by
 // parse_options():
 //   --threads=N   worker threads for core::Estimator (0 = hardware)
 //   --samples=N   trial count override (0 = keep the bench's default)
+//   --json=PATH   machine-readable report (benches that support it)
+//   --writers=N   contending writer clients per shard (protocol harness)
 #pragma once
 
 #include <cmath>
@@ -17,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace pqs::bench {
@@ -24,6 +27,11 @@ namespace pqs::bench {
 struct Options {
   unsigned threads = 0;       // 0 = hardware concurrency
   std::uint64_t samples = 0;  // 0 = bench default
+  std::string json;           // empty = no JSON report
+  // Contending writers per shard (protocol harness). Defaults to genuine
+  // contention: with one writer, timestamps are strictly increasing and
+  // the conflict metrics are identically zero.
+  std::uint32_t writers = 4;
 
   // The bench's trial count after the override.
   std::uint64_t samples_or(std::uint64_t fallback) const {
@@ -31,7 +39,7 @@ struct Options {
   }
 };
 
-// Parses --threads=N / --samples=N (also "--threads N" forms). Unknown
+// Parses the flags above (both "--flag=V" and "--flag V" forms). Unknown
 // arguments are reported and ignored so binaries stay runnable with no
 // arguments under older scripts.
 inline Options parse_options(int argc, char** argv) {
@@ -49,6 +57,10 @@ inline Options parse_options(int argc, char** argv) {
       opts.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v2 = read_value(argv[i], "--samples", i)) {
       opts.samples = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = read_value(argv[i], "--json", i)) {
+      opts.json = v3;
+    } else if (const char* v4 = read_value(argv[i], "--writers", i)) {
+      opts.writers = static_cast<std::uint32_t>(std::strtoul(v4, nullptr, 10));
     } else {
       std::fprintf(stderr, "ignoring unknown argument: %s\n", argv[i]);
     }

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI perf gate for the SIMD kernel layer.
+
+Reads a micro_ops --json report and compares every BM_Kernel_*/<table>/<arg>
+row against its BM_Kernel_*/scalar/<arg> counterpart. Exits nonzero if any
+SIMD table is slower than scalar by more than the tolerated ratio (default
+1.0: "SIMD must never lose to scalar"). Runners whose CPU offers no SIMD
+table produce no SIMD rows and pass vacuously, so the gate is safe on
+non-AVX2 hardware.
+
+Usage: check_simd_speedup.py BENCH_micro.json [required_speedup_ratio]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    required = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    rows = {}
+    for bench in report.get("benchmarks", []):
+        parts = bench["name"].split("/")
+        # BM_Kernel_<Op>/<table>/<words>
+        if len(parts) != 3 or not parts[0].startswith("BM_Kernel_"):
+            continue
+        rows[(parts[0], parts[2], parts[1])] = bench["real_time"]
+
+    compared = 0
+    failed = []
+    for (family, arg, table), elapsed in sorted(rows.items()):
+        if table == "scalar":
+            continue
+        scalar_time = rows.get((family, arg, "scalar"))
+        if scalar_time is None:
+            continue
+        compared += 1
+        ratio = scalar_time / elapsed
+        verdict = "ok" if ratio >= required else "TOO SLOW"
+        print(f"{family}/{arg}: {table} = {ratio:.2f}x scalar [{verdict}]")
+        if ratio < required:
+            failed.append(f"{family}/{arg}/{table}")
+
+    if compared == 0:
+        print("no SIMD kernel rows found (scalar-only CPU or build); skipping")
+        return 0
+    if failed:
+        print(f"FAIL: {len(failed)} kernel rows slower than scalar: "
+              + ", ".join(failed))
+        return 1
+    print(f"OK: {compared} SIMD rows at >= {required:.2f}x scalar")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,24 @@
 // Microbenchmarks (google-benchmark): the operational costs of the library —
-// quorum sampling, exact epsilon evaluation, solver runs, Monte-Carlo
-// estimation (seed-style allocating loop vs the sharded engine at 1..8
-// threads), protocol operations on both cluster harnesses, gossip rounds,
-// and the MAC.
+// SIMD kernel tables side by side (every table the CPU supports, so one run
+// contains the scalar-vs-AVX2/AVX-512 comparison), quorum sampling, exact
+// epsilon evaluation, solver runs, Monte-Carlo estimation (seed-style
+// allocating loop vs the sharded engine at 1..8 threads), protocol
+// operations on both cluster harnesses, gossip rounds, and the MAC.
+//
+// Flags beyond google-benchmark's own: --json <path> writes the standard
+// benchmark JSON to <path> (shorthand for --benchmark_out=<path>
+// --benchmark_out_format=json); the report context carries the dispatched
+// kernel name under "simd_kernel". A global operator-new counter feeds the
+// allocs_per_op counter on the estimator/protocol rows.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "alloc_count.h"
 #include "core/epsilon.h"
 #include "core/estimator.h"
 #include "core/monte_carlo.h"
@@ -19,18 +30,149 @@
 #include "math/sampling.h"
 #include "quorum/bitset.h"
 #include "quorum/grid.h"
+#include "quorum/mask_batch.h"
 #include "quorum/threshold.h"
 #include "quorum/wall.h"
 #include "quorum/weighted.h"
 #include "replica/instant_cluster.h"
 #include "replica/sim_cluster.h"
+#include "simd/kernels.h"
 
 namespace {
 
 using namespace pqs;
 
+// Tracks heap allocations across the timed loop and reports them per
+// benchmark iteration (scaled by `ops_per_iter` when one iteration performs
+// several logical operations).
+class AllocCounter {
+ public:
+  explicit AllocCounter(benchmark::State& state, double ops_per_iter = 1.0)
+      : state_(state),
+        ops_per_iter_(ops_per_iter),
+        start_(bench::allocations()) {}
+  void report() {
+    const std::uint64_t end = bench::allocations();
+    const double iters =
+        static_cast<double>(state_.iterations()) * ops_per_iter_;
+    state_.counters["allocs_per_op"] =
+        iters > 0 ? static_cast<double>(end - start_) / iters : 0.0;
+  }
+
+ private:
+  benchmark::State& state_;
+  double ops_per_iter_;
+  std::uint64_t start_;
+};
+
 std::uint32_t bench_quorum_size(std::uint32_t n) {
   return static_cast<std::uint32_t>(2.5 * std::sqrt(double(n))) + 1;
+}
+
+// ---- SIMD kernel table benches --------------------------------------------
+//
+// Registered once per table in simd::available(), so a single run reports
+// BM_Kernel_*/scalar next to BM_Kernel_*/avx2 (and /avx512 where present).
+// bench/check_simd_speedup.py compares these rows; CI runs it as a
+// no-lose floor (SIMD must stay within noise of scalar or better — real
+// margins here are 2-40x), while the >= 1.5x acceptance numbers are read
+// off these same rows on quiet hardware. Arg(0) is the buffer size in
+// 64-bit words (157 words = a 10k-server universe; 15 words = the
+// table-sized 900).
+
+std::vector<std::uint64_t> bench_words(std::size_t n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = rng.next();
+  return words;
+}
+
+void KernelPopcount(benchmark::State& state, const simd::Kernels* k) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const auto a = bench_words(words, 21);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += k->popcount(a.data(), words);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words));
+}
+
+void KernelAndPopcount(benchmark::State& state, const simd::Kernels* k) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const auto a = bench_words(words, 22);
+  const auto b = bench_words(words, 23);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += k->and_popcount(a.data(), b.data(), words);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words));
+}
+
+// The pair-estimator shape: one strided call judging 8 quorum pairs laid
+// out flat ([a0 b0 a1 b1 ...]), overlap outside a Byzantine prefix.
+void KernelBatchAndPopcountFrom(benchmark::State& state,
+                                const simd::Kernels* k) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPairs = 8;
+  const auto flat = bench_words(words * 2 * kPairs, 24);
+  const std::uint32_t lo = static_cast<std::uint32_t>(words * 64 / 10);
+  std::uint32_t out[kPairs];
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    k->batch_and_popcount_from(flat.data(), flat.data() + words, 2 * words,
+                               kPairs, words, lo, out);
+    sink += out[0] + out[kPairs - 1];
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+
+// Alive-mask generation through each table's Bernoulli fill (dead
+// probability 0.3, inverted — exactly what estimate_failure_probability
+// asks per trial).
+void KernelAliveMaskFill(benchmark::State& state, const simd::Kernels* k) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const math::BernoulliBlockSampler dead(0.3);
+  const simd::BernoulliSpec spec = dead.spec(/*invert=*/true);
+  std::vector<std::uint64_t> buf(words);
+  math::Rng rng(25);
+  for (auto _ : state) {
+    k->bernoulli_fill(buf.data(), words, spec, rng.next());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words) * 64);
+}
+
+void register_kernel_benches() {
+  for (const simd::Kernels* k : simd::available()) {
+    const std::string suffix = "/" + std::string(k->name);
+    benchmark::RegisterBenchmark(
+        ("BM_Kernel_Popcount" + suffix).c_str(),
+        [k](benchmark::State& s) { KernelPopcount(s, k); })
+        ->Arg(15)
+        ->Arg(157);
+    benchmark::RegisterBenchmark(
+        ("BM_Kernel_AndPopcount" + suffix).c_str(),
+        [k](benchmark::State& s) { KernelAndPopcount(s, k); })
+        ->Arg(15)
+        ->Arg(157);
+    benchmark::RegisterBenchmark(
+        ("BM_Kernel_BatchAndPopcountFrom" + suffix).c_str(),
+        [k](benchmark::State& s) { KernelBatchAndPopcountFrom(s, k); })
+        ->Arg(15)
+        ->Arg(157);
+    benchmark::RegisterBenchmark(
+        ("BM_Kernel_AliveMaskFill" + suffix).c_str(),
+        [k](benchmark::State& s) { KernelAliveMaskFill(s, k); })
+        ->Arg(15)
+        ->Arg(157);
+  }
 }
 
 void BM_SampleQuorum_RandomSubset(benchmark::State& state) {
@@ -208,10 +350,12 @@ void BM_EstimateNonintersection_Engine(benchmark::State& state) {
   const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
   core::Estimator engine({static_cast<unsigned>(state.range(1))});
   math::Rng rng(11);
+  AllocCounter allocs(state, static_cast<double>(kEstimateSamples));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         core::estimate_nonintersection(sys, kEstimateSamples, rng, engine));
   }
+  allocs.report();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kEstimateSamples));
 }
@@ -221,10 +365,12 @@ void BM_EstimateFailureProbability_Engine(benchmark::State& state) {
   const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
   core::Estimator engine({static_cast<unsigned>(state.range(1))});
   math::Rng rng(13);
+  AllocCounter allocs(state, static_cast<double>(kEstimateSamples / 4));
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::estimate_failure_probability(
         sys, 0.5, kEstimateSamples / 4, rng, engine));
   }
+  allocs.report();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kEstimateSamples / 4));
 }
@@ -269,10 +415,12 @@ void BM_InstantCluster_WriteRead(benchmark::State& state) {
       std::make_shared<core::RandomSubsetSystem>(n, bench_quorum_size(n));
   replica::InstantCluster cluster(cfg);
   std::int64_t value = 0;
+  AllocCounter allocs(state, 2.0);  // one write + one read per iteration
   for (auto _ : state) {
     cluster.write(1, ++value);
     benchmark::DoNotOptimize(cluster.read(1));
   }
+  allocs.report();
 }
 
 void BM_SimCluster_WriteRead(benchmark::State& state) {
@@ -346,4 +494,38 @@ BENCHMARK(BM_SimCluster_WriteRead)->Arg(25)->Arg(100);
 BENCHMARK(BM_GossipRound)->Arg(100)->Arg(900);
 BENCHMARK(BM_MacSignVerify);
 
-BENCHMARK_MAIN();
+// Custom main: registers the per-table kernel benches, translates
+// --json <path> into google-benchmark's out flags, and stamps the report
+// context with the dispatched kernel so BENCH_micro.json is self-describing.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(args.size());
+  for (auto& a : args) bench_argv.push_back(a.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+
+  benchmark::AddCustomContext("simd_kernel", pqs::simd::active().name);
+  register_kernel_benches();
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,17 +25,26 @@
 // the op count; the allocating path pays per operation.
 //
 // Flags: --threads=N (pool size, 0 = hardware), --samples=N (ops per
-// shard; default 100000).
-#include <atomic>
+// shard; default 100000), --writers=N (contending writer clients per shard
+// in the multi-writer section; default 4, max 255), --json=PATH
+// (machine-readable report: ops/s, allocs/op, conflict rates, and the
+// dispatched SIMD kernel — CI archives it as BENCH_protocol.json).
+//
+// The multi-writer section measures timestamp-conflict behaviour under
+// contention: N writers per shard interleave on the same Zipfian key
+// space, and a write "conflicts" when it completes with a timestamp below
+// the key's current maximum — it lost the ordering race, and every server
+// that already holds the newer record ignores it (the standard (seq <<
+// 16) | writer multi-writer extension; the paper's single-writer semantics
+// are the default section above).
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
-#include <new>
 #include <unordered_map>
 #include <vector>
 
+#include "alloc_count.h"
 #include "bench_common.h"
 #include "core/random_subset_system.h"
 #include "math/rng.h"
@@ -43,23 +52,9 @@
 #include "quorum/grid.h"
 #include "quorum/threshold.h"
 #include "replica/instant_cluster.h"
+#include "simd/kernels.h"
 #include "util/worker_pool.h"
 #include "workload/workload.h"
-
-// ---- allocation counter ---------------------------------------------------
-
-static std::atomic<std::uint64_t> g_allocations{0};
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace pqs {
 namespace {
@@ -174,7 +169,7 @@ RunResult run_shards(const std::shared_ptr<const quorum::QuorumSystem>& sys,
   std::vector<workload::WorkloadReport> reports(kShards);
 
   util::WorkerPool pool(threads);
-  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t before = bench::allocations();
   const auto t0 = std::chrono::steady_clock::now();
   pool.run(kShards, [&](std::uint64_t s) {
     math::Rng rng(7777 + s);
@@ -185,10 +180,121 @@ RunResult run_shards(const std::shared_ptr<const quorum::QuorumSystem>& sys,
     }
   });
   const auto t1 = std::chrono::steady_clock::now();
-  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t after = bench::allocations();
 
   RunResult result;
   result.aggregate = fold(reports);
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.allocs_per_op =
+      static_cast<double>(after - before) /
+      static_cast<double>(ops_per_shard * kShards);
+  return result;
+}
+
+// ---- multi-writer contention ---------------------------------------------
+
+struct MultiWriterResult {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t conflicts = 0;  // writes that completed below the key max
+  std::uint64_t covered = 0;    // distinct servers touched (all shards)
+  // Server-side trace: write deliveries a server acked but did not adopt
+  // because it already held a newer record. Unlike the op-level conflict
+  // count (a pure function of the interleave), this depends on which
+  // quorums the contending writes landed on, so it differentiates the
+  // systems under test.
+  std::uint64_t write_contacts = 0;
+  std::uint64_t superseded = 0;
+  double seconds = 0.0;
+  double allocs_per_op = 0.0;
+
+  double conflict_rate() const {
+    return writes == 0 ? 0.0
+                       : static_cast<double>(conflicts) /
+                             static_cast<double>(writes);
+  }
+  double superseded_rate() const {
+    return write_contacts == 0 ? 0.0
+                               : static_cast<double>(superseded) /
+                                     static_cast<double>(write_contacts);
+  }
+};
+
+MultiWriterResult run_multi_writer(
+    const std::shared_ptr<const quorum::QuorumSystem>& sys,
+    std::uint32_t writers, std::uint64_t ops_per_shard, unsigned threads) {
+  struct ShardStats {
+    std::uint64_t writes = 0, reads = 0, conflicts = 0, covered = 0;
+    std::uint64_t write_contacts = 0, superseded = 0;
+  };
+  std::vector<std::unique_ptr<InstantCluster>> clusters;
+  clusters.reserve(kShards);
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    InstantCluster::Config cfg;
+    cfg.quorums = sys;
+    cfg.seed = 2000003ULL * (s + 1);
+    clusters.push_back(std::make_unique<InstantCluster>(cfg));
+  }
+  std::vector<ShardStats> stats(kShards);
+
+  util::WorkerPool pool(threads);
+  const std::uint64_t before = bench::allocations();
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.run(kShards, [&](std::uint64_t s) {
+    InstantCluster& cluster = *clusters[s];
+    const std::uint32_t n = cluster.universe_size();
+    math::Rng rng(8888 + s);
+    const workload::ZipfianKeys keys(64, 0.99);
+    std::unordered_map<std::uint64_t, std::uint64_t> max_ts;
+    // Union of every quorum the shard touched, accumulated word-parallel
+    // (QuorumBitset::or_with) — coverage shows how much of the universe
+    // the access strategy spread the contention over.
+    quorum::QuorumBitset touched(n), op_mask(n);
+    replica::WriteResult w;
+    replica::ReadResult r;
+    ShardStats& out = stats[s];
+    std::int64_t value = 0;
+    for (std::uint64_t op = 0; op < ops_per_shard; ++op) {
+      const std::uint64_t key = keys.sample(rng);
+      if (rng.chance(0.5)) {
+        ++out.reads;
+        cluster.read_into(r, key);
+        op_mask.assign(r.quorum);
+      } else {
+        ++out.writes;
+        // Writers take turns; ids are 1-based (writer < 256 keeps the
+        // (seq << 16) | writer timestamps collision-free).
+        const std::uint32_t writer =
+            1 + static_cast<std::uint32_t>(out.writes % writers);
+        cluster.write_as_into(w, writer, key, ++value);
+        out.write_contacts += w.acks;
+        auto& seen = max_ts[key];
+        if (w.timestamp < seen) {
+          ++out.conflicts;
+        } else {
+          seen = w.timestamp;
+        }
+        op_mask.assign(w.quorum);
+      }
+      touched.or_with(op_mask);
+    }
+    out.covered = touched.count();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      out.superseded += cluster.server(u).writes_superseded();
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t after = bench::allocations();
+
+  MultiWriterResult result;
+  for (const auto& s : stats) {
+    result.writes += s.writes;
+    result.reads += s.reads;
+    result.conflicts += s.conflicts;
+    result.covered += s.covered;
+    result.write_contacts += s.write_contacts;
+    result.superseded += s.superseded;
+  }
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   result.allocs_per_op =
       static_cast<double>(after - before) /
@@ -229,17 +335,67 @@ void raw_draw_section(const std::shared_ptr<const quorum::QuorumSystem>& sys,
   });
 }
 
+// One system's full measurement set, kept for the JSON report.
+struct SystemReport {
+  std::string name;
+  RunResult legacy;
+  RunResult mask;
+  MultiWriterResult multi;
+};
+
+void write_json(const char* path, const std::vector<SystemReport>& systems,
+                std::uint64_t ops_per_shard, std::uint32_t writers, bool ok) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n", path);
+    return;
+  }
+  const double total_ops =
+      static_cast<double>(ops_per_shard) * static_cast<double>(kShards);
+  std::fprintf(f,
+               "{\n  \"bench\": \"protocol_throughput\",\n"
+               "  \"simd_kernel\": \"%s\",\n  \"shards\": %u,\n"
+               "  \"ops_per_shard\": %" PRIu64 ",\n  \"writers\": %u,\n"
+               "  \"ok\": %s,\n  \"systems\": [\n",
+               simd::active().name, kShards, ops_per_shard, writers,
+               ok ? "true" : "false");
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const SystemReport& s = systems[i];
+    std::fprintf(
+        f,
+        "    {\n      \"name\": \"%s\",\n"
+        "      \"allocating\": {\"ops_per_sec\": %.6g, \"allocs_per_op\": "
+        "%.4f},\n"
+        "      \"mask\": {\"ops_per_sec\": %.6g, \"allocs_per_op\": %.4f},\n"
+        "      \"speedup\": %.4f,\n"
+        "      \"multi_writer\": {\"writers\": %u, \"ops_per_sec\": %.6g, "
+        "\"conflict_rate\": %.6f, \"superseded_rate\": %.6f, "
+        "\"allocs_per_op\": %.4f}\n    }%s\n",
+        s.name.c_str(), total_ops / s.legacy.seconds, s.legacy.allocs_per_op,
+        total_ops / s.mask.seconds, s.mask.allocs_per_op,
+        s.legacy.seconds / s.mask.seconds, writers,
+        total_ops / s.multi.seconds, s.multi.conflict_rate(),
+        s.multi.superseded_rate(), s.multi.allocs_per_op,
+        i + 1 < systems.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 int main_impl(int argc, char** argv) {
   const auto opts = bench::parse_options(argc, argv);
   const std::uint64_t ops_per_shard = opts.samples_or(100000);
   const unsigned threads = opts.threads;
+  const std::uint32_t writers =
+      opts.writers < 1 ? 1 : (opts.writers > 255 ? 255 : opts.writers);
 
   std::printf(
       "protocol_throughput: %u shards x %" PRIu64
-      " ops, zipf(0.99) over 64 keys, 50%% reads\n",
-      kShards, ops_per_shard);
+      " ops, zipf(0.99) over 64 keys, 50%% reads, simd=%s\n",
+      kShards, ops_per_shard, simd::active().name);
 
   bool ok = true;
+  std::vector<SystemReport> reports;
   for (int which = 0; which < 3; ++which) {
     const auto sys = make_system(which);
     const RunResult legacy =
@@ -274,11 +430,27 @@ int main_impl(int argc, char** argv) {
         mask.aggregate.stale_reads, mask.aggregate.access_checksum);
     std::printf("[protocol] system=%s speedup=%.2fx\n", sys->name().c_str(),
                 legacy.seconds / mask.seconds);
+
+    const MultiWriterResult multi =
+        run_multi_writer(sys, writers, ops_per_shard, threads);
+    std::printf(
+        "[multiwriter] system=%s writers=%u ops/sec=%.3g conflict_rate=%.4f "
+        "superseded_rate=%.4f coverage=%.1f allocs/op=%.2f\n",
+        sys->name().c_str(), writers, total_ops / multi.seconds,
+        multi.conflict_rate(), multi.superseded_rate(),
+        static_cast<double>(multi.covered) / static_cast<double>(kShards),
+        multi.allocs_per_op);
+
+    reports.push_back(SystemReport{sys->name(), legacy, mask, multi});
   }
 
   const std::uint64_t draws = ops_per_shard < 8192 ? 32768 : 1u << 20;
   raw_draw_section(make_system(0), draws);
   raw_draw_section(make_system(1), draws);
+
+  if (!opts.json.empty()) {
+    write_json(opts.json.c_str(), reports, ops_per_shard, writers, ok);
+  }
 
   std::printf(ok ? "OK: aggregates bit-identical across draw paths and "
                    "thread counts\n"

@@ -10,7 +10,10 @@
 // folded in shard order. Consequences:
 //
 //   * results are a pure function of (caller RNG state, samples, shards) —
-//     bit-for-bit identical for 1, 4, or 64 threads;
+//     bit-for-bit identical for 1, 4, or 64 threads, and — because every
+//     per-shard body computes through the runtime-dispatched kernel layer
+//     (simd/kernels.h), whose tables are bit-identical by contract — on
+//     any ISA the dispatcher selects;
 //   * the caller's generator advances exactly once (the fork), so
 //     back-to-back estimates from one generator stay independent;
 //   * throughput scales with the pool size until memory bandwidth wins.

@@ -5,6 +5,8 @@
 #include "math/bernoulli.h"
 #include "math/sampling.h"
 #include "quorum/bitset.h"
+#include "quorum/mask_batch.h"
+#include "simd/kernels.h"
 #include "util/require.h"
 
 namespace pqs::core {
@@ -22,39 +24,28 @@ void merge_proportion(math::Proportion& acc, const math::Proportion& part) {
 // is untouched — sample_masks consumes exactly what the per-draw calls did,
 // so estimates stay bit-identical at any chunk size.
 constexpr std::size_t kDrawBatch = 16;
+constexpr std::size_t kPairBatch = kDrawBatch / 2;
 
-// Runs fn(mask_a, mask_b) once per trial, drawing quorum pairs through the
-// batched entry point in [a0 b0 a1 b1 ...] order — the exact draw order of
-// the former per-trial sample_mask pairs.
-template <typename Fn>
+// Draws quorum pairs through the batched entry point into one flat
+// MaskBatch in [a0 b0 a1 b1 ...] order — the exact draw order of the
+// former per-trial sample_mask pairs — then hands each filled chunk to
+// score(batch, pairs, result), which judges all pairs with strided batch
+// kernels over the flat buffer and appends one verdict per pair.
+template <typename Score>
 math::Proportion pair_trials(const quorum::QuorumSystem& system,
-                             std::uint64_t trials, math::Rng& rng, Fn&& fn) {
-  std::vector<quorum::QuorumBitset> batch(
-      kDrawBatch, quorum::QuorumBitset(system.universe_size()));
+                             std::uint64_t trials, math::Rng& rng,
+                             Score&& score) {
+  quorum::MaskBatch batch(system.universe_size(), kDrawBatch);
   math::Proportion result;
   std::uint64_t done = 0;
   while (done < trials) {
     const std::size_t pairs = static_cast<std::size_t>(
-        std::min<std::uint64_t>(trials - done, kDrawBatch / 2));
-    system.sample_masks(batch.data(), pairs * 2, rng);
-    for (std::size_t i = 0; i < pairs; ++i) {
-      result.add(fn(batch[2 * i], batch[2 * i + 1]));
-    }
+        std::min<std::uint64_t>(trials - done, kPairBatch));
+    system.sample_masks(batch.masks(), pairs * 2, rng);
+    score(batch, pairs, result);
     done += pairs;
   }
   return result;
-}
-
-// One trial's alive mask: every server dead independently with probability
-// p, drawn 64 Bernoulli lanes at a time.
-void fill_alive_mask(const math::BernoulliBlockSampler& dead, math::Rng& rng,
-                     quorum::QuorumBitset& alive) {
-  std::uint64_t* words = alive.word_data();
-  const std::size_t count = alive.word_count();
-  for (std::size_t i = 0; i < count; ++i) {
-    words[i] = ~dead.draw_block(rng);
-  }
-  alive.mask_padding();
 }
 
 }  // namespace
@@ -67,8 +58,16 @@ math::Proportion estimate_nonintersection(const quorum::QuorumSystem& system,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
         return pair_trials(
             system, shard_samples, shard_rng,
-            [](const quorum::QuorumBitset& a, const quorum::QuorumBitset& b) {
-              return !a.intersects(b);
+            [](quorum::MaskBatch& batch, std::size_t pairs,
+               math::Proportion& result) {
+              const std::size_t w = batch.words_per_mask();
+              std::uint32_t overlap[kPairBatch];
+              simd::active().batch_and_popcount_from(
+                  batch.words(), batch.words() + w, 2 * w, pairs, w, 0,
+                  overlap);
+              for (std::size_t i = 0; i < pairs; ++i) {
+                result.add(overlap[i] == 0);
+              }
             });
       },
       merge_proportion);
@@ -83,10 +82,18 @@ math::Proportion estimate_dissemination_epsilon(
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
         return pair_trials(
             system, shard_samples, shard_rng,
-            [b](const quorum::QuorumBitset& a, const quorum::QuorumBitset& q) {
+            [b](quorum::MaskBatch& batch, std::size_t pairs,
+                math::Proportion& result) {
               // Failure event: every common server is Byzantine
-              // (Q ∩ Q' ⊆ B).
-              return a.intersection_count_from(q, b) == 0;
+              // (Q ∩ Q' ⊆ B), i.e. no overlap outside the prefix {0..b-1}.
+              const std::size_t w = batch.words_per_mask();
+              std::uint32_t correct_overlap[kPairBatch];
+              simd::active().batch_and_popcount_from(
+                  batch.words(), batch.words() + w, 2 * w, pairs, w, b,
+                  correct_overlap);
+              for (std::size_t i = 0; i < pairs; ++i) {
+                result.add(correct_overlap[i] == 0);
+              }
             });
       },
       merge_proportion);
@@ -102,12 +109,21 @@ math::Proportion estimate_masking_epsilon(const quorum::QuorumSystem& system,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
         return pair_trials(
             system, shard_samples, shard_rng,
-            [b, k](const quorum::QuorumBitset& read_mask,
-                   const quorum::QuorumBitset& write_mask) {
-              const std::uint32_t faulty_in_read = read_mask.count_below(b);
-              const std::uint32_t fresh_correct =
-                  read_mask.intersection_count_from(write_mask, b);
-              return faulty_in_read >= k || fresh_correct < k;
+            [b, k](quorum::MaskBatch& batch, std::size_t pairs,
+                   math::Proportion& result) {
+              // Pair layout: even masks are the read quorums, odd the
+              // write quorums. One strided sweep per question.
+              const std::size_t w = batch.words_per_mask();
+              std::uint32_t faulty_in_read[kPairBatch];
+              std::uint32_t fresh_correct[kPairBatch];
+              const auto& kern = simd::active();
+              kern.batch_popcount_prefix(batch.words(), 2 * w, pairs, b,
+                                         faulty_in_read);
+              kern.batch_and_popcount_from(batch.words(), batch.words() + w,
+                                           2 * w, pairs, w, b, fresh_correct);
+              for (std::size_t i = 0; i < pairs; ++i) {
+                result.add(faulty_in_read[i] >= k || fresh_correct[i] < k);
+              }
             });
       },
       merge_proportion);
@@ -122,15 +138,14 @@ std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
       samples, rng,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
         std::vector<std::uint64_t> shard_hits(n, 0);
-        std::vector<quorum::QuorumBitset> batch(kDrawBatch,
-                                                quorum::QuorumBitset(n));
+        quorum::MaskBatch batch(n, kDrawBatch);
         std::uint64_t done = 0;
         while (done < shard_samples) {
           const std::size_t draws = static_cast<std::size_t>(
               std::min<std::uint64_t>(shard_samples - done, kDrawBatch));
-          system.sample_masks(batch.data(), draws, shard_rng);
+          system.sample_masks(batch.masks(), draws, shard_rng);
           for (std::size_t i = 0; i < draws; ++i) {
-            batch[i].for_each_set_bit(
+            batch.mask(i).for_each_set_bit(
                 [&shard_hits](quorum::ServerId u) { ++shard_hits[u]; });
           }
           done += draws;
@@ -167,7 +182,12 @@ math::Proportion estimate_failure_probability(
         std::vector<bool> scalar_alive;
         math::Proportion result;
         for (std::uint64_t s = 0; s < shard_samples; ++s) {
-          fill_alive_mask(dead, shard_rng, alive);
+          // One trial's alive mask: every server dead independently with
+          // probability p, drawn as inverted Bernoulli blocks through the
+          // dispatched kernel.
+          dead.fill(alive.word_data(), alive.word_count(), shard_rng,
+                    /*invert=*/true);
+          alive.mask_padding();
           bool live;
           if (check == LivenessCheck::kWordParallel) {
             live = system.has_live_quorum_mask(alive);

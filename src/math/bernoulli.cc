@@ -22,6 +22,20 @@ BernoulliBlockSampler::BernoulliBlockSampler(double p)
                     : static_cast<int>(__builtin_ctzll(threshold_));
 }
 
+void BernoulliBlockSampler::fill(std::uint64_t* words, std::size_t count,
+                                 Rng& rng, bool invert) const {
+  // One seed word regardless of p keeps the caller-visible stream cost
+  // constant (degenerate p included, so toggling p across runs cannot shift
+  // later draws).
+  const std::uint64_t seed = rng.next();
+  if (p_ <= 0.0 || p_ >= 1.0) {
+    const std::uint64_t value = (p_ >= 1.0) != invert ? ~0ULL : 0ULL;
+    std::fill(words, words + count, value);
+    return;
+  }
+  simd::active().bernoulli_fill(words, count, spec(invert), seed);
+}
+
 std::uint64_t BernoulliBlockSampler::draw_block(Rng& rng) const {
   if (p_ <= 0.0) return 0;
   if (p_ >= 1.0) return ~0ULL;

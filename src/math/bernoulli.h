@@ -26,9 +26,11 @@
 // stays unbiased to beyond double precision instead of silently truncating.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "math/rng.h"
+#include "simd/kernels.h"
 
 namespace pqs::math {
 
@@ -43,6 +45,22 @@ class BernoulliBlockSampler {
   // j's success indicator. Consumes a data-dependent (but purely
   // stream-determined) number of rng words.
   std::uint64_t draw_block(Rng& rng) const;
+
+  // Fills words[0..count) with Bernoulli(p) blocks (complemented when
+  // `invert`, for alive masks from a dead-probability) through the
+  // dispatched SIMD kernel. Consumes exactly ONE word of `rng` — the seed
+  // of the fill's private SplitMix64 lane streams (the contract in
+  // simd/kernels_common.h) — so callers' stream bookkeeping is trivial.
+  // Bit-identical on every ISA and at any thread count; statistically
+  // equivalent to, but a different stream than, count draw_block calls.
+  void fill(std::uint64_t* words, std::size_t count, Rng& rng,
+            bool invert = false) const;
+
+  // The precomputed fixed-point constants, for direct kernel callers
+  // (benches) that manage their own seeds.
+  simd::BernoulliSpec spec(bool invert = false) const {
+    return simd::BernoulliSpec{threshold_, tail_, stop_level_, invert};
+  }
 
  private:
   double p_;

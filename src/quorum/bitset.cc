@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
 #include "util/require.h"
 
 namespace pqs::quorum {
@@ -15,13 +16,90 @@ inline std::uint64_t low_mask(std::uint32_t bits) {
 
 }  // namespace
 
+QuorumBitset::QuorumBitset(const QuorumBitset& other)
+    : n_(other.n_), words_n_(other.words_n_) {
+  storage_.assign(other.words_, other.words_ + other.words_n_);
+  words_ = storage_.data();
+}
+
+QuorumBitset& QuorumBitset::operator=(const QuorumBitset& other) {
+  if (this == &other) return *this;
+  if (view_) {
+    // A view is a window onto caller-owned storage: assignment writes the
+    // value through instead of detaching (the universes must agree).
+    PQS_CHECK(n_ == other.n_);
+    std::copy(other.words_, other.words_ + words_n_, words_);
+    return *this;
+  }
+  n_ = other.n_;
+  words_n_ = other.words_n_;
+  storage_.assign(other.words_, other.words_ + other.words_n_);
+  words_ = storage_.data();
+  return *this;
+}
+
+QuorumBitset::QuorumBitset(QuorumBitset&& other) noexcept
+    : n_(other.n_),
+      words_n_(other.words_n_),
+      view_(other.view_),
+      words_(other.words_),
+      storage_(std::move(other.storage_)) {
+  if (!view_) words_ = storage_.data();
+  other.n_ = 0;
+  other.words_n_ = 0;
+  other.view_ = false;
+  other.words_ = nullptr;
+  other.storage_.clear();
+}
+
+QuorumBitset& QuorumBitset::operator=(QuorumBitset&& other) noexcept {
+  if (this == &other) return *this;
+  if (view_) {
+    // Write-through, as in copy assignment (a view's storage cannot be
+    // stolen into). The source is left untouched.
+    PQS_CHECK(n_ == other.n_);
+    std::copy(other.words_, other.words_ + words_n_, words_);
+    return *this;
+  }
+  n_ = other.n_;
+  words_n_ = other.words_n_;
+  view_ = other.view_;
+  storage_ = std::move(other.storage_);
+  words_ = view_ ? other.words_ : storage_.data();
+  other.n_ = 0;
+  other.words_n_ = 0;
+  other.view_ = false;
+  other.words_ = nullptr;
+  other.storage_.clear();
+  return *this;
+}
+
 void QuorumBitset::resize(std::uint32_t universe_size) {
+  const std::size_t want = (static_cast<std::size_t>(universe_size) + 63) / 64;
+  if (view_) {
+    PQS_CHECK(universe_size == n_);
+    clear();
+    return;
+  }
   n_ = universe_size;
-  words_.assign((static_cast<std::size_t>(n_) + 63) / 64, 0);
+  words_n_ = want;
+  storage_.assign(want, 0);
+  words_ = storage_.data();
+}
+
+void QuorumBitset::attach(std::uint64_t* words, std::size_t word_count,
+                          std::uint32_t universe_size) {
+  PQS_CHECK(word_count ==
+            (static_cast<std::size_t>(universe_size) + 63) / 64);
+  storage_.clear();
+  view_ = true;
+  words_ = words;
+  words_n_ = word_count;
+  n_ = universe_size;
 }
 
 void QuorumBitset::clear() {
-  std::fill(words_.begin(), words_.end(), 0ULL);
+  std::fill(words_, words_ + words_n_, 0ULL);
 }
 
 void QuorumBitset::assign(const Quorum& q) {
@@ -44,30 +122,24 @@ void QuorumBitset::set_range(std::uint32_t lo, std::uint32_t hi) {
 }
 
 void QuorumBitset::mask_padding() {
-  if (n_ % 64 != 0 && !words_.empty()) {
-    words_.back() &= low_mask(n_ % 64);
+  if (n_ % 64 != 0 && words_n_ != 0) {
+    words_[words_n_ - 1] &= low_mask(n_ % 64);
   }
 }
 
 std::uint32_t QuorumBitset::count() const {
-  std::uint32_t total = 0;
-  for (std::uint64_t w : words_) total += popcount64(w);
-  return total;
+  return simd::active().popcount(words_, words_n_);
 }
 
 std::uint32_t QuorumBitset::count_below(std::uint32_t bound) const {
-  bound = std::min(bound, n_);
-  const std::uint32_t full_words = bound / 64;
-  std::uint32_t total = 0;
-  for (std::uint32_t i = 0; i < full_words; ++i) total += popcount64(words_[i]);
-  if (bound % 64 != 0) {
-    total += popcount64(words_[full_words] & low_mask(bound % 64));
-  }
-  return total;
+  return simd::active().popcount_prefix(words_, std::min(bound, n_));
 }
 
 std::uint32_t QuorumBitset::count_in_range(std::uint32_t lo,
                                            std::uint32_t hi) const {
+  // Callers (the grid/wall row checks) ask row-sized windows, so the
+  // masked scalar walk over just [lo, hi) beats two prefix kernel sweeps
+  // from word zero.
   hi = std::min(hi, n_);
   if (lo >= hi) return 0;
   const std::uint32_t first = lo / 64;
@@ -104,43 +176,34 @@ bool QuorumBitset::all_set_in_range(std::uint32_t lo, std::uint32_t hi) const {
 
 bool QuorumBitset::intersects(const QuorumBitset& other) const {
   PQS_CHECK(n_ == other.n_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] & other.words_[i]) return true;
-  }
-  return false;
+  return simd::active().and_any(words_, other.words_, words_n_);
 }
 
 std::uint32_t QuorumBitset::intersection_count(const QuorumBitset& other) const {
   PQS_CHECK(n_ == other.n_);
-  std::uint32_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += popcount64(words_[i] & other.words_[i]);
-  }
-  return total;
+  return simd::active().and_popcount(words_, other.words_, words_n_);
 }
 
 std::uint32_t QuorumBitset::intersection_count_from(const QuorumBitset& other,
                                                     std::uint32_t lo) const {
   PQS_CHECK(n_ == other.n_);
   if (lo >= n_) return 0;
-  const std::uint32_t first_word = lo / 64;
-  std::uint32_t total = 0;
-  // The first word is partially masked; the rest count whole.
-  std::uint64_t w = words_[first_word] & other.words_[first_word];
-  w &= ~low_mask(lo % 64);
-  total += popcount64(w);
-  for (std::size_t i = first_word + 1; i < words_.size(); ++i) {
-    total += popcount64(words_[i] & other.words_[i]);
-  }
-  return total;
+  return simd::active().and_popcount_from(words_, other.words_, words_n_, lo);
 }
 
 bool QuorumBitset::contains_all(const QuorumBitset& other) const {
   PQS_CHECK(n_ == other.n_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (other.words_[i] & ~words_[i]) return false;
-  }
-  return true;
+  return !simd::active().andnot_any(other.words_, words_, words_n_);
+}
+
+bool QuorumBitset::equals(const QuorumBitset& other) const {
+  PQS_CHECK(n_ == other.n_);
+  return simd::active().equal(words_, other.words_, words_n_);
+}
+
+void QuorumBitset::or_with(const QuorumBitset& other) {
+  PQS_CHECK(n_ == other.n_);
+  simd::active().or_accum(words_, other.words_, words_n_);
 }
 
 Quorum QuorumBitset::to_quorum() const {

@@ -3,10 +3,18 @@
 // The Monte-Carlo hot loops draw millions of quorum pairs and ask only
 // set-algebra questions about them: do they intersect, how large is the
 // overlap, how much of it falls inside the Byzantine prefix {0..b-1}.
-// QuorumBitset answers all of these with word-parallel AND/popcount loops
-// over a scratch buffer that is allocated once per shard and re-assigned
-// per draw — zero allocation and O(n/64) work per question, versus the
-// O(q) merge over sorted vectors it replaces.
+// QuorumBitset answers all of these through the runtime-dispatched kernel
+// layer (simd/kernels.h) — word-parallel AND/popcount over a scratch buffer
+// that is allocated once per shard and re-assigned per draw, vectorized
+// when the CPU allows, always bit-identical to the scalar reference.
+//
+// Storage comes in two modes:
+//   * owning (the default): the bitset holds its own word vector;
+//   * view: attach() points the bitset at caller-owned words — how
+//     quorum::MaskBatch lays a whole sample_masks chunk into one flat
+//     buffer so a single kernel call can sweep the batch. Views behave
+//     like any other bitset; copying one detaches it into an owning deep
+//     copy, so no API can observe the difference except words() identity.
 //
 // Invariant: bits at positions >= universe_size() (the padding of the last
 // word) are always zero. Every mutator preserves it; code that writes words
@@ -21,7 +29,7 @@
 
 namespace pqs::quorum {
 
-// Portability seam for the one non-standard builtin the word loops need
+// Portability seam for the one non-standard builtin the word walks need
 // (C++17 has no std::popcount).
 inline std::uint32_t popcount64(std::uint64_t x) {
   return static_cast<std::uint32_t>(__builtin_popcountll(x));
@@ -37,9 +45,35 @@ class QuorumBitset {
   QuorumBitset() = default;
   explicit QuorumBitset(std::uint32_t universe_size) { resize(universe_size); }
 
-  // Sets the universe size and clears all bits.
+  // Value semantics that respect views: copy construction produces an
+  // owning deep copy; move construction transfers identity as-is — moving
+  // from a view yields another view of the same caller-owned words, so it
+  // must not outlive them (MaskBatch relies on this to relocate its view
+  // array). Assignment *into a view* writes the source's words through to
+  // the viewed storage (universes must match) so code like
+  // SetSystem::sample_mask's `out = stored_mask` fills the caller's
+  // buffer — a MaskBatch slice included — instead of silently detaching
+  // the view. Assignment into an owning bitset deep-copies as usual.
+  QuorumBitset(const QuorumBitset& other);
+  QuorumBitset& operator=(const QuorumBitset& other);
+  QuorumBitset(QuorumBitset&& other) noexcept;
+  QuorumBitset& operator=(QuorumBitset&& other) noexcept;
+  ~QuorumBitset() = default;
+
+  // Sets the universe size and clears all bits. A view cannot change
+  // universe size (its words belong to the batch); resizing a view to its
+  // current size is a clear().
   void resize(std::uint32_t universe_size);
   std::uint32_t universe_size() const { return n_; }
+
+  // Becomes a view of `words` (`word_count` words backing a universe of
+  // `universe_size` bits; word_count must equal ceil(n/64)). The words are
+  // adopted as-is — the caller provides zeroed (or padding-clean) memory
+  // and owns it, keeping it alive and fixed while the view exists. Used by
+  // MaskBatch; prefer that over calling this directly.
+  void attach(std::uint64_t* words, std::size_t word_count,
+              std::uint32_t universe_size);
+  bool is_view() const { return view_; }
 
   // Zeroes every bit; the universe size is unchanged.
   void clear();
@@ -74,6 +108,10 @@ class QuorumBitset {
                                         std::uint32_t lo) const;
   // True iff other ⊆ this (the "is this quorum fully alive" question).
   bool contains_all(const QuorumBitset& other) const;
+  // True iff both hold exactly the same members.
+  bool equals(const QuorumBitset& other) const;
+  // this |= other (set union; the gossip/coverage accumulation primitive).
+  void or_with(const QuorumBitset& other);
 
   // Invokes fn(u) for every set bit u in ascending order — the one word
   // walk (ctz + clear-lowest-bit) every member-iterating caller shares. A
@@ -81,7 +119,7 @@ class QuorumBitset {
   // threshold-accumulating callers); a void fn visits every member.
   template <typename Fn>
   void for_each_set_bit(Fn&& fn) const {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
+    for (std::size_t i = 0; i < words_n_; ++i) {
       std::uint64_t w = words_[i];
       const std::uint32_t base = static_cast<std::uint32_t>(i) * 64;
       while (w != 0) {
@@ -106,15 +144,18 @@ class QuorumBitset {
   // generator) and word-at-a-time readers. words()[i] holds servers
   // 64i..64i+63, LSB first. After writing through word_data(), call
   // mask_padding() to restore the padding invariant.
-  std::size_t word_count() const { return words_.size(); }
-  const std::uint64_t* words() const { return words_.data(); }
-  std::uint64_t* word_data() { return words_.data(); }
+  std::size_t word_count() const { return words_n_; }
+  const std::uint64_t* words() const { return words_; }
+  std::uint64_t* word_data() { return words_; }
   // Zeroes the bits >= n in the last word.
   void mask_padding();
 
  private:
   std::uint32_t n_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::size_t words_n_ = 0;
+  bool view_ = false;                   // words_ are caller-owned
+  std::uint64_t* words_ = nullptr;      // storage_.data() unless a view
+  std::vector<std::uint64_t> storage_;  // unused while viewing
 };
 
 }  // namespace pqs::quorum

@@ -1,0 +1,16 @@
+#include "quorum/mask_batch.h"
+
+namespace pqs::quorum {
+
+MaskBatch::MaskBatch(std::uint32_t universe_size, std::size_t count)
+    : n_(universe_size),
+      words_per_mask_((static_cast<std::size_t>(universe_size) + 63) / 64),
+      words_(words_per_mask_ * count, 0),  // zeroed once; attach adopts as-is
+      masks_(count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    masks_[i].attach(words_.data() + i * words_per_mask_, words_per_mask_,
+                     universe_size);
+  }
+}
+
+}  // namespace pqs::quorum

@@ -1,0 +1,53 @@
+// A chunk of quorum masks in one flat word buffer.
+//
+// sample_masks() draws through an array of QuorumBitset; when those bitsets
+// each own their words, the drawn chunk is scattered across the heap and
+// every set-algebra question costs one kernel call per mask. MaskBatch lays
+// `count` masks out contiguously — mask i occupies words
+// [i*words_per_mask, (i+1)*words_per_mask) — and exposes QuorumBitset
+// *views* over the slices, so the existing draw entry points fill it
+// unchanged while the estimators hand the whole buffer to one strided
+// batch kernel (simd::Kernels::batch_*).
+//
+// The batch owns the buffer; it is movable but not copyable (copying would
+// have to rebind every view). Views keep the bitset padding invariant
+// individually, so the flat buffer is always kernel-clean.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quorum/bitset.h"
+
+namespace pqs::quorum {
+
+class MaskBatch {
+ public:
+  MaskBatch(std::uint32_t universe_size, std::size_t count);
+
+  MaskBatch(const MaskBatch&) = delete;
+  MaskBatch& operator=(const MaskBatch&) = delete;
+  MaskBatch(MaskBatch&&) = default;
+  MaskBatch& operator=(MaskBatch&&) = default;
+
+  std::uint32_t universe_size() const { return n_; }
+  std::size_t count() const { return masks_.size(); }
+  std::size_t words_per_mask() const { return words_per_mask_; }
+
+  // The views, suitable for QuorumSystem::sample_masks(masks(), k, rng).
+  QuorumBitset* masks() { return masks_.data(); }
+  QuorumBitset& mask(std::size_t i) { return masks_[i]; }
+  const QuorumBitset& mask(std::size_t i) const { return masks_[i]; }
+
+  // The flat buffer (count * words_per_mask words), for batch kernels.
+  std::uint64_t* words() { return words_.data(); }
+  const std::uint64_t* words() const { return words_.data(); }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::size_t words_per_mask_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<QuorumBitset> masks_;
+};
+
+}  // namespace pqs::quorum

@@ -16,12 +16,22 @@ Server::Server(std::uint32_t id, FaultMode mode, math::Rng rng,
 
 std::vector<Outbound> Server::process(std::uint32_t from,
                                       const Message& message) {
-  if (mode_ == FaultMode::kCrash) return {};
+  std::vector<Outbound> out;
+  process_into(from, message, out);
+  return out;
+}
+
+void Server::process_into(std::uint32_t from, const Message& message,
+                          std::vector<Outbound>& out) {
+  out.clear();
+  if (mode_ == FaultMode::kCrash) return;
   if (const auto* w = std::get_if<WriteRequest>(&message)) {
-    return handle_write(from, *w);
+    handle_write(from, *w, out);
+    return;
   }
   if (const auto* r = std::get_if<ReadRequest>(&message)) {
-    return handle_read(from, *r);
+    handle_read(from, *r, out);
+    return;
   }
   if (const auto* g = std::get_if<GossipPush>(&message)) {
     // Correct servers adopt fresher gossip; faulty ones ignore it. With a
@@ -32,29 +42,26 @@ std::vector<Outbound> Server::process(std::uint32_t from,
         adopt(g->record);
       }
     }
-    return {};
+    return;
   }
   // WriteAck / ReadReply are client-bound; a server receiving one ignores it.
-  return {};
 }
 
-std::vector<Outbound> Server::handle_write(std::uint32_t from,
-                                           const WriteRequest& w) {
-  if (apply_write(w)) return {{from, WriteAck{w.op, id_}}};
-  return {};
+void Server::handle_write(std::uint32_t from, const WriteRequest& w,
+                          std::vector<Outbound>& out) {
+  if (apply_write(w)) out.push_back({from, WriteAck{w.op, id_}});
 }
 
-std::vector<Outbound> Server::handle_read(std::uint32_t from,
-                                          const ReadRequest& r) {
+void Server::handle_read(std::uint32_t from, const ReadRequest& r,
+                         std::vector<Outbound>& out) {
   ReadReply reply;
-  if (serve_read(r, reply)) return {{from, reply}};
-  return {};
+  if (serve_read(r, reply)) out.push_back({from, reply});
 }
 
 bool Server::apply_write(const WriteRequest& w) {
   switch (mode_) {
     case FaultMode::kCorrect:
-      adopt(w.record);
+      if (!adopt(w.record)) ++writes_superseded_;
       ++writes_accepted_;
       return true;
     case FaultMode::kSuppress:

@@ -40,6 +40,13 @@ class Server {
   // the replies to send. Crashed servers return nothing and change nothing.
   std::vector<Outbound> process(std::uint32_t from, const Message& message);
 
+  // As process(), but appends the replies to `out` (which is cleared
+  // first) so its capacity is reused across deliveries — the per-delivery
+  // entry point of the pooled SimCluster network path. process() routes
+  // through this, so the two cannot diverge.
+  void process_into(std::uint32_t from, const Message& message,
+                    std::vector<Outbound>& out);
+
   // Direct-call entry points for the zero-allocation protocol path
   // (InstantCluster): the same state transitions and fault behaviours as
   // process(), minus the Outbound vector. apply_write returns whether the
@@ -74,10 +81,17 @@ class Server {
 
   std::uint64_t writes_accepted() const { return writes_accepted_; }
   std::uint64_t reads_served() const { return reads_served_; }
+  // Writes this server acknowledged but did not adopt because it already
+  // held a higher-timestamped record — the server-side trace of
+  // multi-writer timestamp conflicts (depends on which quorums the
+  // contending writes actually landed on).
+  std::uint64_t writes_superseded() const { return writes_superseded_; }
 
  private:
-  std::vector<Outbound> handle_write(std::uint32_t from, const WriteRequest& w);
-  std::vector<Outbound> handle_read(std::uint32_t from, const ReadRequest& r);
+  void handle_write(std::uint32_t from, const WriteRequest& w,
+                    std::vector<Outbound>& out);
+  void handle_read(std::uint32_t from, const ReadRequest& r,
+                   std::vector<Outbound>& out);
 
   std::uint32_t id_;
   FaultMode mode_;
@@ -89,6 +103,7 @@ class Server {
   std::unordered_map<VariableId, crypto::SignedRecord> first_store_;
   std::uint64_t writes_accepted_ = 0;
   std::uint64_t reads_served_ = 0;
+  std::uint64_t writes_superseded_ = 0;
 };
 
 }  // namespace pqs::replica

@@ -28,9 +28,13 @@ SimCluster::SimCluster(Config config, FaultPlan faults)
     servers_.push_back(
         std::make_unique<Server>(i, faults.mode(i), rng_.fork(), collude));
     Server* server = servers_.back().get();
+    // One shared reply scratch across all servers: the simulator delivers
+    // one message at a time and sends never re-enter a handler, so the
+    // vector's capacity is reused for every delivery in the run.
     network_->register_node(i, [this, server](sim::NodeId from,
                                               const Message& msg) {
-      for (auto& out : server->process(from, msg)) {
+      server->process_into(from, msg, outbound_scratch_);
+      for (auto& out : outbound_scratch_) {
         network_->send(server->id(), out.to, std::move(out.message));
       }
     });

@@ -75,6 +75,9 @@ class SimCluster {
   std::unique_ptr<sim::Network<Message>> network_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
+  // Reply scratch shared by the server delivery handlers (single-threaded
+  // event loop; capacity reused across every delivery).
+  std::vector<Outbound> outbound_scratch_;
   sim::Time gossip_period_ = 0;
   std::uint32_t gossip_fanout_ = 0;
   std::uint64_t gossip_rounds_ = 0;

@@ -5,10 +5,20 @@
 // explicit partitions. Delivery per (sender, receiver) pair preserves the
 // order implied by the sampled latencies (no FIFO guarantee is imposed —
 // the paper's protocols are timestamp-based and do not need one).
+//
+// In-flight messages live in a pooled slot arena, not in per-event
+// closures: send() parks {from, to, message} in a recycled slot and
+// schedules a trivially-copyable {network, slot} thunk that fits
+// std::function's small-buffer optimisation. Steady state therefore
+// allocates nothing per message — the arena grows to the high-water mark
+// of concurrently in-flight messages and is reused from then on (and the
+// recycled slots keep their message payload capacity warm).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "math/rng.h"
@@ -67,21 +77,58 @@ class Network {
       return;
     }
     const Time delay = latency_.sample(rng_);
-    simulator_.schedule(delay, [this, from, to, msg = std::move(message)]() {
-      ++delivered_;
-      if (handlers_[to]) handlers_[to](from, msg);
-    });
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      Slot& s = pool_[slot];
+      s.from = from;
+      s.to = to;
+      s.message = std::move(message);
+    } else {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(Slot{from, to, std::move(message)});
+    }
+    simulator_.schedule(delay, Delivery{this, slot});
   }
 
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_delivered() const { return delivered_; }
   std::uint64_t messages_dropped() const { return dropped_; }
+  // Arena high-water mark: the most messages ever simultaneously in flight.
+  std::size_t message_pool_size() const { return pool_.size(); }
 
  private:
   struct Partition {
     std::vector<NodeId> a;
     std::vector<NodeId> b;
   };
+
+  // One parked in-flight message. The deque keeps slots address-stable
+  // while a delivery handler sends more messages (which may grow the pool
+  // mid-delivery).
+  struct Slot {
+    NodeId from = 0;
+    NodeId to = 0;
+    M message;
+  };
+
+  // The scheduled thunk: 16 trivially-copyable bytes, so std::function
+  // stores it inline (no per-message heap node).
+  struct Delivery {
+    Network* network;
+    std::uint32_t slot;
+    void operator()() const { network->deliver(slot); }
+  };
+
+  void deliver(std::uint32_t slot) {
+    ++delivered_;
+    Slot& s = pool_[slot];
+    if (handlers_[s.to]) handlers_[s.to](s.from, s.message);
+    // Recycle only after the handler returns: nested sends grab fresh
+    // slots, so `s` stays untouched for the duration of the call.
+    free_slots_.push_back(slot);
+  }
 
   static bool contains(const std::vector<NodeId>& v, NodeId x) {
     for (NodeId y : v) {
@@ -105,6 +152,8 @@ class Network {
   math::Rng rng_;
   std::vector<Handler> handlers_;
   std::vector<Partition> partitions_;
+  std::deque<Slot> pool_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -1,0 +1,97 @@
+// Runtime kernel selection.
+//
+// Resolution happens once, on first use, from three inputs:
+//   1. the build: -DPQS_FORCE_SCALAR=ON pins the scalar reference (the CI
+//      fallback job, and any machine where vector units must stay idle);
+//   2. the environment: PQS_FORCE_SCALAR (set, not "0") pins scalar, and
+//      PQS_SIMD=<name> selects a specific table when the CPU has it;
+//   3. cpuid: the highest table whose ISA the CPU reports, avx512 > avx2 >
+//      scalar. AVX-512 requires F+BW+DQ+VL+VPOPCNTDQ (everything the
+//      kernels use); AVX2 requires AVX2 (BMI2/POPCNT ride along on every
+//      AVX2-era part).
+//
+// Because every table is bit-identical (tests/test_simd_kernels.cc), the
+// choice is invisible in results — only in throughput.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/isa_tables.h"
+#include "simd/kernels.h"
+
+namespace pqs::simd {
+
+namespace {
+
+bool cpu_has(const Kernels& table) {
+  if (std::strcmp(table.name, "scalar") == 0) return true;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (std::strcmp(table.name, "avx2") == 0) {
+    return __builtin_cpu_supports("avx2");
+  }
+  if (std::strcmp(table.name, "avx512") == 0) {
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512vl") &&
+           __builtin_cpu_supports("avx512vpopcntdq");
+  }
+#endif
+  return false;
+}
+
+const Kernels* resolve() {
+#ifdef PQS_FORCE_SCALAR_BUILD
+  return &scalar();
+#else
+  if (const char* force = std::getenv("PQS_FORCE_SCALAR")) {
+    if (std::strcmp(force, "0") != 0) return &scalar();
+  }
+  if (const char* want = std::getenv("PQS_SIMD")) {
+    if (const Kernels* k = find(want)) return k;
+  }
+  if (const Kernels* k = detail::avx512_table()) {
+    if (cpu_has(*k)) return k;
+  }
+  if (const Kernels* k = detail::avx2_table()) {
+    if (cpu_has(*k)) return k;
+  }
+  return &scalar();
+#endif
+}
+
+std::atomic<const Kernels*>& active_slot() {
+  static std::atomic<const Kernels*> slot{resolve()};
+  return slot;
+}
+
+}  // namespace
+
+const Kernels& active() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+void force(const Kernels& kernels) {
+  active_slot().store(&kernels, std::memory_order_relaxed);
+}
+
+std::vector<const Kernels*> available() {
+  std::vector<const Kernels*> tables;
+  tables.push_back(&scalar());
+  if (const Kernels* k = detail::avx2_table()) {
+    if (cpu_has(*k)) tables.push_back(k);
+  }
+  if (const Kernels* k = detail::avx512_table()) {
+    if (cpu_has(*k)) tables.push_back(k);
+  }
+  return tables;
+}
+
+const Kernels* find(const char* name) {
+  for (const Kernels* k : available()) {
+    if (std::strcmp(k->name, name) == 0) return k;
+  }
+  return nullptr;
+}
+
+}  // namespace pqs::simd

@@ -1,0 +1,14 @@
+// Internal: per-ISA table accessors for the dispatcher. Each TU always
+// defines its accessor; it returns nullptr when the toolchain could not
+// compile that ISA (the CMake flag probe failed), so dispatch.cc needs no
+// conditional compilation of its own beyond the runtime cpuid checks.
+#pragma once
+
+#include "simd/kernels.h"
+
+namespace pqs::simd::detail {
+
+const Kernels* avx2_table();
+const Kernels* avx512_table();
+
+}  // namespace pqs::simd::detail

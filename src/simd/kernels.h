@@ -1,0 +1,106 @@
+// Runtime-dispatched SIMD kernels for the bitset/Bernoulli hot loops.
+//
+// Every epsilon/load/failure estimate in this library is bounded by two
+// inner loops: QuorumBitset word algebra (AND/popcount/range queries) and
+// the BernoulliBlockSampler digit compares. This layer packages those
+// loops as a table of batch kernels with three implementations — a
+// portable scalar reference (the semantic ground truth), AVX2, and
+// AVX-512 — selected once at startup by cpuid probe.
+//
+// Determinism contract: every kernel is a pure function of its inputs
+// (bernoulli_fill of (spec, seed)), and every ISA implementation is
+// bit-identical to the scalar reference — asserted by the fuzz suite in
+// tests/test_simd_kernels.cc. Consequently estimator results do not depend
+// on which ISA the host supports, and PQS_FORCE_SCALAR (env var, or the
+// -DPQS_FORCE_SCALAR=ON build option) only changes speed, never output.
+//
+// Dispatch order: avx512 (needs F/BW/DQ/VL/VPOPCNTDQ) > avx2 > scalar.
+// Overrides: build option PQS_FORCE_SCALAR=ON pins scalar; env
+// PQS_FORCE_SCALAR (set, and not "0") pins scalar; env PQS_SIMD=<name>
+// selects a specific table when available on the CPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pqs::simd {
+
+// The fixed-point description of one Bernoulli(p) digit-compare stream
+// (math::BernoulliBlockSampler exports its precomputed constants here).
+struct BernoulliSpec {
+  std::uint64_t threshold = 0;  // floor(p * 2^64)
+  double tail = 0.0;            // p * 2^64 - threshold, in [0, 1)
+  int stop_level = 0;           // lowest digit of p that can still decide
+  bool invert = false;          // write ~block (alive masks from dead p)
+};
+
+// One kernel table. All word buffers are uint64_t spans; `n` counts words.
+// Prefix/from variants take *bit* bounds and handle the partial word
+// internally (buffers must span ceil(bound/64) words at least).
+struct Kernels {
+  const char* name;  // "scalar" | "avx2" | "avx512"
+
+  std::uint32_t (*popcount)(const std::uint64_t* a, std::size_t n);
+  std::uint32_t (*and_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n);
+  // Bits of a (resp. a & b) with bit index < nbits.
+  std::uint32_t (*popcount_prefix)(const std::uint64_t* a, std::uint32_t nbits);
+  std::uint32_t (*and_popcount_prefix)(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::uint32_t nbits);
+  // Bits of a & b with bit index >= lo_bits, within an n-word buffer (the
+  // "correct servers in both quorums" count: overlap outside the Byzantine
+  // prefix {0..lo_bits-1}).
+  std::uint32_t (*and_popcount_from)(const std::uint64_t* a,
+                                     const std::uint64_t* b, std::size_t n,
+                                     std::uint32_t lo_bits);
+  bool (*and_any)(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n);
+  // True iff a & ~b has any set bit (drives contains_all).
+  bool (*andnot_any)(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n);
+  bool (*equal)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+  void (*or_accum)(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n);
+
+  // Strided batch forms: item i reads a_base + i*stride (and b_base +
+  // i*stride), each an n-word mask; one call covers a whole sample_masks
+  // chunk laid out flat (quorum::MaskBatch). out[i] receives item i's count.
+  void (*batch_and_popcount_from)(const std::uint64_t* a_base,
+                                  const std::uint64_t* b_base,
+                                  std::size_t stride, std::size_t count,
+                                  std::size_t n, std::uint32_t lo_bits,
+                                  std::uint32_t* out);
+  void (*batch_popcount_prefix)(const std::uint64_t* a_base,
+                                std::size_t stride, std::size_t count,
+                                std::uint32_t nbits, std::uint32_t* out);
+
+  // Fills dst[0..n) with Bernoulli(p) blocks (bit j of dst[i] = trial
+  // 64*i+j). The draw stream is defined by the scalar reference in
+  // kernels_common.h: sixteen SplitMix64 lane streams expanded from `seed`,
+  // lanes advanced most-significant-digit-first exactly as
+  // BernoulliBlockSampler::draw_block advances its digits. Pure in
+  // (spec, seed); bit-identical across ISAs.
+  void (*bernoulli_fill)(std::uint64_t* dst, std::size_t n,
+                         const BernoulliSpec& spec, std::uint64_t seed);
+};
+
+// The scalar reference table (always available; the fuzz oracle).
+const Kernels& scalar();
+
+// The dispatched table: resolved once (cpuid + overrides) on first use.
+const Kernels& active();
+
+// Every table usable on this CPU, scalar first. Benches iterate this to
+// report scalar-vs-SIMD side by side in one process.
+std::vector<const Kernels*> available();
+
+// Table lookup by name among available(); nullptr if absent/unsupported.
+const Kernels* find(const char* name);
+
+// Replaces the active table (tests/benches only; call from a single thread
+// with no concurrent kernel users).
+void force(const Kernels& kernels);
+
+}  // namespace pqs::simd

@@ -1,0 +1,315 @@
+// AVX2 kernel table. Compiled with -mavx2 -mpopcnt -mbmi2 (CMake adds the
+// flags only when the compiler supports them; PQS_SIMD_COMPILE_AVX2 marks
+// that case). Selected at runtime only when cpuid reports AVX2, so nothing
+// in this TU may run before dispatch — no static initializers touch vector
+// code.
+//
+// Popcounts use Mula's vpshufb nibble-LUT with vpsadbw accumulation
+// (4 words per 256-bit lane, no cross-lane reduction until the end); the
+// Bernoulli fill runs the sixteen SplitMix64 lane streams as four 4-lane
+// vectors with the 64x64 multiply emulated over vpmuludq.
+#include "simd/isa_tables.h"
+#include "simd/kernels_common.h"
+
+#if defined(PQS_SIMD_COMPILE_AVX2) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace pqs::simd {
+
+namespace {
+
+using namespace detail;
+
+// ---- popcount core --------------------------------------------------------
+
+// Per-byte popcount of v via two nibble table lookups.
+inline __m256i popcount_bytes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nibble);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nibble);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+inline std::uint32_t reduce_sad(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si64(sum) +
+                                    _mm_extract_epi64(sum, 1));
+}
+
+std::uint32_t popcount_avx2(const std::uint64_t* a, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(popcount_bytes(v), _mm256_setzero_si256()));
+  }
+  std::uint32_t total = reduce_sad(acc);
+  for (; i < n; ++i) total += popcount64(a[i]);
+  return total;
+}
+
+std::uint32_t and_popcount_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(popcount_bytes(v), _mm256_setzero_si256()));
+  }
+  std::uint32_t total = reduce_sad(acc);
+  for (; i < n; ++i) total += popcount64(a[i] & b[i]);
+  return total;
+}
+
+// ---- derived forms --------------------------------------------------------
+
+std::uint32_t popcount_prefix_avx2(const std::uint64_t* a,
+                                   std::uint32_t nbits) {
+  return and_popcount_prefix_with(
+      a, a, nbits,
+      [](const std::uint64_t* x, const std::uint64_t*, std::size_t n) {
+        return popcount_avx2(x, n);
+      });
+}
+
+std::uint32_t and_popcount_prefix_avx2(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::uint32_t nbits) {
+  return and_popcount_prefix_with(a, b, nbits, and_popcount_avx2);
+}
+
+std::uint32_t and_popcount_from_avx2(const std::uint64_t* a,
+                                     const std::uint64_t* b, std::size_t n,
+                                     std::uint32_t lo_bits) {
+  return and_popcount_from_with(a, b, n, lo_bits, and_popcount_avx2);
+}
+
+bool and_any_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(va, vb)) return true;
+  }
+  for (; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+bool andnot_any_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // testc(b, a) checks (~b & a) == 0.
+    if (!_mm256_testc_si256(vb, va)) return true;
+  }
+  for (; i < n; ++i) {
+    if (a[i] & ~b[i]) return true;
+  }
+  return false;
+}
+
+bool equal_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i diff = _mm256_xor_si256(va, vb);
+    if (!_mm256_testz_si256(diff, diff)) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+void or_accum_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_or_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void batch_and_popcount_from_avx2(const std::uint64_t* a_base,
+                                  const std::uint64_t* b_base,
+                                  std::size_t stride, std::size_t count,
+                                  std::size_t n, std::uint32_t lo_bits,
+                                  std::uint32_t* out) {
+  batch_and_popcount_from_with(a_base, b_base, stride, count, n, lo_bits, out,
+                               and_popcount_from_avx2);
+}
+
+void batch_popcount_prefix_avx2(const std::uint64_t* a_base,
+                                std::size_t stride, std::size_t count,
+                                std::uint32_t nbits, std::uint32_t* out) {
+  batch_popcount_prefix_with(a_base, stride, count, nbits, out,
+                             popcount_prefix_avx2);
+}
+
+// ---- Bernoulli fill -------------------------------------------------------
+
+// 64x64 -> low 64 multiply over 32-bit lanes (AVX2 has no vpmullq).
+inline __m256i mul64(__m256i a, __m256i b) {
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+// SplitMix64 output mix, four lanes at a time (constants in
+// kernels_common.h).
+inline __m256i mix64x4(__m256i z) {
+  z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+            _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+            _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+// Advances lanes whose eq != 0 and applies one digit step. The state add is
+// masked (a decided lane's stream must not advance — the contract in
+// kernels_common.h); the mix is computed unconditionally and discarded by
+// the eq-masked update, which is a no-op for decided lanes.
+inline void digit_step(__m256i& state, __m256i& success, __m256i& eq,
+                       bool digit, __m256i golden) {
+  const __m256i decided = _mm256_cmpeq_epi64(eq, _mm256_setzero_si256());
+  state = _mm256_add_epi64(state, _mm256_andnot_si256(decided, golden));
+  const __m256i w = mix64x4(state);
+  if (digit) {
+    success = _mm256_or_si256(success, _mm256_andnot_si256(w, eq));
+    eq = _mm256_and_si256(eq, w);
+  } else {
+    eq = _mm256_andnot_si256(w, eq);
+  }
+}
+
+void bernoulli_fill_avx2(std::uint64_t* dst, std::size_t n,
+                         const BernoulliSpec& spec, std::uint64_t seed) {
+  // Sixteen lanes as four independent 4-lane vectors: the digit loop's
+  // critical path is state -> mix -> eq per vector, so four parallel
+  // chains keep the multiply pipes busy while each chain's result is in
+  // flight.
+  constexpr int kVecs = kBernoulliLanes / 4;
+  alignas(32) std::uint64_t lane_state[kBernoulliLanes];
+  bernoulli_seed_lanes(seed, lane_state);
+  const __m256i golden = _mm256_set1_epi64x(static_cast<long long>(kGolden));
+  __m256i st[kVecs];
+  for (int v = 0; v < kVecs; ++v) {
+    st[v] = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(lane_state + 4 * v));
+  }
+  for (std::size_t chunk = 0; chunk < n; chunk += kBernoulliLanes) {
+    const std::size_t lanes =
+        n - chunk < kBernoulliLanes ? n - chunk : kBernoulliLanes;
+    alignas(32) std::uint64_t eq_init[kBernoulliLanes] = {};
+    for (std::size_t j = 0; j < lanes; ++j) eq_init[j] = ~0ULL;
+    __m256i eq[kVecs], su[kVecs];
+    for (int v = 0; v < kVecs; ++v) {
+      eq[v] = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(eq_init + 4 * v));
+      su[v] = _mm256_setzero_si256();
+    }
+    for (int level = 63; level >= spec.stop_level; --level) {
+      const bool digit = (spec.threshold >> level) & 1ULL;
+      for (int v = 0; v < kVecs; ++v) {
+        digit_step(st[v], su[v], eq[v], digit, golden);
+      }
+      const __m256i undecided =
+          _mm256_or_si256(_mm256_or_si256(eq[0], eq[1]),
+                          _mm256_or_si256(eq[2], eq[3]));
+      if (_mm256_testz_si256(undecided, undecided)) break;
+    }
+    const __m256i undecided = _mm256_or_si256(
+        _mm256_or_si256(eq[0], eq[1]), _mm256_or_si256(eq[2], eq[3]));
+    if (spec.tail > 0.0 && !_mm256_testz_si256(undecided, undecided)) {
+      // Residual-tail lanes (probability 2^-64 each): spill to the shared
+      // scalar fallback, then reload the advanced lane states.
+      alignas(32) std::uint64_t eqs[kBernoulliLanes], sus[kBernoulliLanes];
+      for (int v = 0; v < kVecs; ++v) {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(eqs + 4 * v), eq[v]);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(sus + 4 * v), su[v]);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lane_state + 4 * v),
+                           st[v]);
+      }
+      for (std::size_t j = 0; j < lanes; ++j) {
+        if (eqs[j] != 0) {
+          sus[j] |= bernoulli_tail_scalar(eqs[j], spec.tail, lane_state[j]);
+        }
+      }
+      for (int v = 0; v < kVecs; ++v) {
+        su[v] = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(sus + 4 * v));
+        st[v] = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(lane_state + 4 * v));
+      }
+    }
+    alignas(32) std::uint64_t block[kBernoulliLanes];
+    for (int v = 0; v < kVecs; ++v) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(block + 4 * v), su[v]);
+    }
+    for (std::size_t j = 0; j < lanes; ++j) {
+      dst[chunk + j] = spec.invert ? ~block[j] : block[j];
+    }
+  }
+}
+
+constexpr Kernels kAvx2Table = {
+    "avx2",
+    &popcount_avx2,
+    &and_popcount_avx2,
+    &popcount_prefix_avx2,
+    &and_popcount_prefix_avx2,
+    &and_popcount_from_avx2,
+    &and_any_avx2,
+    &andnot_any_avx2,
+    &equal_avx2,
+    &or_accum_avx2,
+    &batch_and_popcount_from_avx2,
+    &batch_popcount_prefix_avx2,
+    &bernoulli_fill_avx2,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* avx2_table() { return &kAvx2Table; }
+}  // namespace detail
+
+}  // namespace pqs::simd
+
+#else  // toolchain cannot target AVX2
+
+namespace pqs::simd::detail {
+const Kernels* avx2_table() { return nullptr; }
+}  // namespace pqs::simd::detail
+
+#endif

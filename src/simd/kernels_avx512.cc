@@ -1,0 +1,281 @@
+// AVX-512 kernel table. Requires F/BW/DQ/VL/VPOPCNTDQ at runtime; compiled
+// with the matching -mavx512* flags when the toolchain supports them
+// (PQS_SIMD_COMPILE_AVX512). Popcounts are native vpopcntq; the Bernoulli
+// fill runs the sixteen SplitMix64 lane streams as four 256-bit vectors
+// with native 64-bit multiplies (vpmullq) and mask-register predication.
+#include "simd/isa_tables.h"
+#include "simd/kernels_common.h"
+
+#if defined(PQS_SIMD_COMPILE_AVX512) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace pqs::simd {
+
+namespace {
+
+using namespace detail;
+
+// Spill-and-add reduction: _mm512_reduce_add_epi64 expands through
+// _mm256_undefined_si256 in GCC's headers, which trips
+// -Wmaybe-uninitialized under -Werror.
+inline std::uint32_t reduce_add(__m512i acc) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, acc);
+  std::uint64_t total = 0;
+  for (std::uint64_t lane : lanes) total += lane;
+  return static_cast<std::uint32_t>(total);
+}
+
+std::uint32_t popcount_avx512(const std::uint64_t* a, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (n - i)) - 1);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(m, a + i)));
+  }
+  return reduce_add(acc);
+}
+
+std::uint32_t and_popcount_avx512(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(
+                 _mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i))));
+  }
+  if (i < n) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (n - i)) - 1);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(
+                 _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                  _mm512_maskz_loadu_epi64(m, b + i))));
+  }
+  return reduce_add(acc);
+}
+
+std::uint32_t popcount_prefix_avx512(const std::uint64_t* a,
+                                     std::uint32_t nbits) {
+  return and_popcount_prefix_with(
+      a, a, nbits,
+      [](const std::uint64_t* x, const std::uint64_t*, std::size_t n) {
+        return popcount_avx512(x, n);
+      });
+}
+
+std::uint32_t and_popcount_prefix_avx512(const std::uint64_t* a,
+                                         const std::uint64_t* b,
+                                         std::uint32_t nbits) {
+  return and_popcount_prefix_with(a, b, nbits, and_popcount_avx512);
+}
+
+std::uint32_t and_popcount_from_avx512(const std::uint64_t* a,
+                                       const std::uint64_t* b, std::size_t n,
+                                       std::uint32_t lo_bits) {
+  return and_popcount_from_with(a, b, n, lo_bits, and_popcount_avx512);
+}
+
+bool and_any_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (_mm512_test_epi64_mask(_mm512_loadu_si512(a + i),
+                               _mm512_loadu_si512(b + i))) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+bool andnot_any_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    if (_mm512_cmpneq_epi64_mask(_mm512_andnot_si512(vb, va),
+                                 _mm512_setzero_si512())) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] & ~b[i]) return true;
+  }
+  return false;
+}
+
+bool equal_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (_mm512_cmpneq_epi64_mask(_mm512_loadu_si512(a + i),
+                                 _mm512_loadu_si512(b + i))) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+void or_accum_avx512(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(_mm512_loadu_si512(dst + i),
+                                                 _mm512_loadu_si512(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void batch_and_popcount_from_avx512(const std::uint64_t* a_base,
+                                    const std::uint64_t* b_base,
+                                    std::size_t stride, std::size_t count,
+                                    std::size_t n, std::uint32_t lo_bits,
+                                    std::uint32_t* out) {
+  batch_and_popcount_from_with(a_base, b_base, stride, count, n, lo_bits, out,
+                               and_popcount_from_avx512);
+}
+
+void batch_popcount_prefix_avx512(const std::uint64_t* a_base,
+                                  std::size_t stride, std::size_t count,
+                                  std::uint32_t nbits, std::uint32_t* out) {
+  batch_popcount_prefix_with(a_base, stride, count, nbits, out,
+                             popcount_prefix_avx512);
+}
+
+// SplitMix64 output mix over 256-bit lanes with the native 64-bit multiply
+// (AVX-512VL+DQ vpmullq). The fill deliberately runs 4x256-bit chains
+// rather than 2x512: the digit loop is latency-bound on the
+// state -> mix -> eq chain, and on current cores four quarter-width chains
+// with single-uop multiplies beat two full-width ones.
+inline __m256i mix64x4(__m256i z) {
+  z = _mm256_mullo_epi64(
+      _mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+      _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = _mm256_mullo_epi64(
+      _mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+      _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+// One digit step for four lanes; the state add is predicated on the lane
+// being undecided (mask registers make the blend free here).
+inline void digit_step(__m256i& state, __m256i& success, __m256i& eq,
+                       bool digit, __m256i golden) {
+  const __mmask8 undecided =
+      _mm256_cmpneq_epi64_mask(eq, _mm256_setzero_si256());
+  state = _mm256_mask_add_epi64(state, undecided, state, golden);
+  const __m256i w = mix64x4(state);
+  if (digit) {
+    success = _mm256_or_si256(success, _mm256_andnot_si256(w, eq));
+    eq = _mm256_and_si256(eq, w);
+  } else {
+    eq = _mm256_andnot_si256(w, eq);
+  }
+}
+
+void bernoulli_fill_avx512(std::uint64_t* dst, std::size_t n,
+                           const BernoulliSpec& spec, std::uint64_t seed) {
+  constexpr int kVecs = kBernoulliLanes / 4;
+  alignas(32) std::uint64_t lane_state[kBernoulliLanes];
+  bernoulli_seed_lanes(seed, lane_state);
+  const __m256i golden = _mm256_set1_epi64x(static_cast<long long>(kGolden));
+  __m256i st[kVecs];
+  for (int v = 0; v < kVecs; ++v) {
+    st[v] = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(lane_state + 4 * v));
+  }
+  for (std::size_t chunk = 0; chunk < n; chunk += kBernoulliLanes) {
+    const std::size_t lanes =
+        n - chunk < kBernoulliLanes ? n - chunk : kBernoulliLanes;
+    alignas(32) std::uint64_t eq_init[kBernoulliLanes] = {};
+    for (std::size_t j = 0; j < lanes; ++j) eq_init[j] = ~0ULL;
+    __m256i eq[kVecs], su[kVecs];
+    for (int v = 0; v < kVecs; ++v) {
+      eq[v] = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(eq_init + 4 * v));
+      su[v] = _mm256_setzero_si256();
+    }
+    for (int level = 63; level >= spec.stop_level; --level) {
+      const bool digit = (spec.threshold >> level) & 1ULL;
+      for (int v = 0; v < kVecs; ++v) {
+        digit_step(st[v], su[v], eq[v], digit, golden);
+      }
+      const __m256i undecided = _mm256_or_si256(
+          _mm256_or_si256(eq[0], eq[1]), _mm256_or_si256(eq[2], eq[3]));
+      if (_mm256_testz_si256(undecided, undecided)) break;
+    }
+    const __m256i undecided = _mm256_or_si256(
+        _mm256_or_si256(eq[0], eq[1]), _mm256_or_si256(eq[2], eq[3]));
+    if (spec.tail > 0.0 && !_mm256_testz_si256(undecided, undecided)) {
+      alignas(32) std::uint64_t eqs[kBernoulliLanes], sus[kBernoulliLanes];
+      for (int v = 0; v < kVecs; ++v) {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(eqs + 4 * v), eq[v]);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(sus + 4 * v), su[v]);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lane_state + 4 * v),
+                           st[v]);
+      }
+      for (std::size_t j = 0; j < lanes; ++j) {
+        if (eqs[j] != 0) {
+          sus[j] |= bernoulli_tail_scalar(eqs[j], spec.tail, lane_state[j]);
+        }
+      }
+      for (int v = 0; v < kVecs; ++v) {
+        su[v] = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(sus + 4 * v));
+        st[v] = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(lane_state + 4 * v));
+      }
+    }
+    alignas(32) std::uint64_t block[kBernoulliLanes];
+    for (int v = 0; v < kVecs; ++v) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(block + 4 * v), su[v]);
+    }
+    for (std::size_t j = 0; j < lanes; ++j) {
+      dst[chunk + j] = spec.invert ? ~block[j] : block[j];
+    }
+  }
+}
+
+constexpr Kernels kAvx512Table = {
+    "avx512",
+    &popcount_avx512,
+    &and_popcount_avx512,
+    &popcount_prefix_avx512,
+    &and_popcount_prefix_avx512,
+    &and_popcount_from_avx512,
+    &and_any_avx512,
+    &andnot_any_avx512,
+    &equal_avx512,
+    &or_accum_avx512,
+    &batch_and_popcount_from_avx512,
+    &batch_popcount_prefix_avx512,
+    &bernoulli_fill_avx512,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* avx512_table() { return &kAvx512Table; }
+}  // namespace detail
+
+}  // namespace pqs::simd
+
+#else  // toolchain cannot target AVX-512
+
+namespace pqs::simd::detail {
+const Kernels* avx512_table() { return nullptr; }
+}  // namespace pqs::simd::detail
+
+#endif

@@ -1,0 +1,217 @@
+// Shared scalar building blocks for the kernel TUs.
+//
+// The scalar table is built directly from these; the AVX2/AVX-512 TUs use
+// them for partial-word heads, short-buffer tails, and the (astronomically
+// rare) Bernoulli residual-tail fallback, so every ISA shares one source of
+// truth for the tricky edge arithmetic. Everything here is inline and
+// header-only on purpose: each TU is compiled with its own ISA flags and
+// must not link against code compiled for another ISA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+
+namespace pqs::simd::detail {
+
+inline std::uint32_t popcount64(std::uint64_t x) {
+  return static_cast<std::uint32_t>(__builtin_popcountll(x));
+}
+
+// Mask selecting the bits below position `bits` of one word (bits <= 64).
+inline std::uint64_t low_mask(std::uint32_t bits) {
+  return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+inline std::uint32_t popcount_scalar(const std::uint64_t* a, std::size_t n) {
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += popcount64(a[i]);
+  return total;
+}
+
+inline std::uint32_t and_popcount_scalar(const std::uint64_t* a,
+                                         const std::uint64_t* b,
+                                         std::size_t n) {
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += popcount64(a[i] & b[i]);
+  return total;
+}
+
+// Prefix/from forms expressed over a whole-word core so each ISA plugs in
+// its own wide popcount and keeps the partial-word fixups identical.
+template <typename AndPop>
+inline std::uint32_t and_popcount_prefix_with(const std::uint64_t* a,
+                                              const std::uint64_t* b,
+                                              std::uint32_t nbits,
+                                              AndPop&& core) {
+  const std::uint32_t full = nbits / 64;
+  std::uint32_t total = core(a, b, full);
+  if (nbits % 64 != 0) {
+    total += popcount64(a[full] & b[full] & low_mask(nbits % 64));
+  }
+  return total;
+}
+
+template <typename AndPop>
+inline std::uint32_t and_popcount_from_with(const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t n,
+                                            std::uint32_t lo_bits,
+                                            AndPop&& core) {
+  const std::size_t first = lo_bits / 64;
+  if (first >= n) return 0;
+  std::uint32_t total =
+      popcount64(a[first] & b[first] & ~low_mask(lo_bits % 64));
+  return total + core(a + first + 1, b + first + 1, n - first - 1);
+}
+
+inline bool and_any_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+inline bool andnot_any_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] & ~b[i]) return true;
+  }
+  return false;
+}
+
+inline bool equal_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+inline void or_accum_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+// ---- Bernoulli digit-compare stream ---------------------------------------
+//
+// The fill stream: `seed` (one word of the caller's generator) expands
+// through SplitMix64 into sixteen lane states; lane j serves blocks with
+// index ≡ j (mod 16) of the destination buffer, chunked sixteen at a time.
+// Within a chunk, digits of p are compared most-significant-first exactly
+// as BernoulliBlockSampler::draw_block does for a single block: at each
+// level, every still-undecided lane draws one word from *its own* lane
+// stream. Lane streams are private, so implementations may evaluate
+// decided lanes speculatively (vector blends) without perturbing the
+// consumed sequence — the contract is only that a lane's state advances
+// iff that lane is undecided at that level. Sixteen lanes (not a vector
+// width) so every ISA runs several independent mix chains per level: the
+// digit loop is latency-bound on state -> mix -> eq -> state, and the
+// extra chains convert that latency into throughput.
+//
+// Constants match math::SplitMix64 (duplicated here so the kernel TUs stay
+// free of cross-ISA link dependencies).
+
+constexpr int kBernoulliLanes = 16;
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline void bernoulli_seed_lanes(std::uint64_t seed,
+                                 std::uint64_t lane_state[kBernoulliLanes]) {
+  for (int j = 0; j < kBernoulliLanes; ++j) {
+    seed += kGolden;
+    lane_state[j] = mix64(seed);
+  }
+}
+
+// Residual-tail fallback for lanes whose 64 digits all tie p's expansion
+// (probability 2^-64 per lane): each tied trial succeeds with the exact
+// sub-2^-64 residual, decided by one more lane word compared as a 53-bit
+// uniform — the same rule as BernoulliBlockSampler::draw_block's fallback.
+inline std::uint64_t bernoulli_tail_scalar(std::uint64_t eq, double tail,
+                                           std::uint64_t& lane_state) {
+  std::uint64_t success = 0;
+  for (std::uint64_t m = eq; m != 0; m &= m - 1) {
+    lane_state += kGolden;
+    const std::uint64_t w = mix64(lane_state);
+    if (static_cast<double>(w >> 11) * 0x1.0p-53 < tail) {
+      success |= m & (~m + 1);
+    }
+  }
+  return success;
+}
+
+// The scalar reference fill — the semantic definition every ISA must match.
+inline void bernoulli_fill_scalar(std::uint64_t* dst, std::size_t n,
+                                  const BernoulliSpec& spec,
+                                  std::uint64_t seed) {
+  std::uint64_t lane_state[kBernoulliLanes];
+  bernoulli_seed_lanes(seed, lane_state);
+  for (std::size_t chunk = 0; chunk < n; chunk += kBernoulliLanes) {
+    const int lanes = n - chunk < kBernoulliLanes
+                          ? static_cast<int>(n - chunk)
+                          : kBernoulliLanes;
+    std::uint64_t success[kBernoulliLanes] = {};
+    std::uint64_t eq[kBernoulliLanes] = {};
+    for (int j = 0; j < lanes; ++j) eq[j] = ~0ULL;
+    for (int level = 63; level >= spec.stop_level; --level) {
+      const bool digit = (spec.threshold >> level) & 1ULL;
+      bool any = false;
+      for (int j = 0; j < lanes; ++j) {
+        if (eq[j] == 0) continue;
+        lane_state[j] += kGolden;
+        const std::uint64_t w = mix64(lane_state[j]);
+        if (digit) {
+          success[j] |= eq[j] & ~w;
+          eq[j] &= w;
+        } else {
+          eq[j] &= ~w;
+        }
+        any |= eq[j] != 0;
+      }
+      if (!any) break;
+    }
+    if (spec.tail > 0.0) {
+      for (int j = 0; j < lanes; ++j) {
+        if (eq[j] != 0) {
+          success[j] |= bernoulli_tail_scalar(eq[j], spec.tail, lane_state[j]);
+        }
+      }
+    }
+    for (int j = 0; j < lanes; ++j) {
+      dst[chunk + j] = spec.invert ? ~success[j] : success[j];
+    }
+  }
+}
+
+// Generic strided-batch adapters so each ISA reuses its single-pair cores.
+template <typename FromFn>
+inline void batch_and_popcount_from_with(const std::uint64_t* a_base,
+                                         const std::uint64_t* b_base,
+                                         std::size_t stride, std::size_t count,
+                                         std::size_t n, std::uint32_t lo_bits,
+                                         std::uint32_t* out, FromFn&& from) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = from(a_base + i * stride, b_base + i * stride, n, lo_bits);
+  }
+}
+
+template <typename PrefixFn>
+inline void batch_popcount_prefix_with(const std::uint64_t* a_base,
+                                       std::size_t stride, std::size_t count,
+                                       std::uint32_t nbits, std::uint32_t* out,
+                                       PrefixFn&& prefix) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = prefix(a_base + i * stride, nbits);
+  }
+}
+
+}  // namespace pqs::simd::detail

@@ -1,0 +1,71 @@
+// The portable scalar kernel table: the reference every SIMD table is
+// fuzz-checked against, and the fallback on CPUs (or builds) without AVX2.
+// Compiled with the project's baseline flags only — no ISA extensions — so
+// a binary built here runs anywhere.
+#include "simd/kernels.h"
+#include "simd/kernels_common.h"
+
+namespace pqs::simd {
+
+namespace {
+
+using namespace detail;
+
+std::uint32_t popcount_prefix_impl(const std::uint64_t* a,
+                                   std::uint32_t nbits) {
+  return and_popcount_prefix_with(a, a, nbits, [](const std::uint64_t* x,
+                                                  const std::uint64_t*,
+                                                  std::size_t n) {
+    return popcount_scalar(x, n);
+  });
+}
+
+std::uint32_t and_popcount_prefix_impl(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::uint32_t nbits) {
+  return and_popcount_prefix_with(a, b, nbits, and_popcount_scalar);
+}
+
+std::uint32_t and_popcount_from_impl(const std::uint64_t* a,
+                                     const std::uint64_t* b, std::size_t n,
+                                     std::uint32_t lo_bits) {
+  return and_popcount_from_with(a, b, n, lo_bits, and_popcount_scalar);
+}
+
+void batch_and_popcount_from_impl(const std::uint64_t* a_base,
+                                  const std::uint64_t* b_base,
+                                  std::size_t stride, std::size_t count,
+                                  std::size_t n, std::uint32_t lo_bits,
+                                  std::uint32_t* out) {
+  batch_and_popcount_from_with(a_base, b_base, stride, count, n, lo_bits, out,
+                               and_popcount_from_impl);
+}
+
+void batch_popcount_prefix_impl(const std::uint64_t* a_base,
+                                std::size_t stride, std::size_t count,
+                                std::uint32_t nbits, std::uint32_t* out) {
+  batch_popcount_prefix_with(a_base, stride, count, nbits, out,
+                             popcount_prefix_impl);
+}
+
+constexpr Kernels kScalarTable = {
+    "scalar",
+    &popcount_scalar,
+    &and_popcount_scalar,
+    &popcount_prefix_impl,
+    &and_popcount_prefix_impl,
+    &and_popcount_from_impl,
+    &and_any_scalar,
+    &andnot_any_scalar,
+    &equal_scalar,
+    &or_accum_scalar,
+    &batch_and_popcount_from_impl,
+    &batch_popcount_prefix_impl,
+    &bernoulli_fill_scalar,
+};
+
+}  // namespace
+
+const Kernels& scalar() { return kScalarTable; }
+
+}  // namespace pqs::simd

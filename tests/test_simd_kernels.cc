@@ -1,0 +1,333 @@
+// The kernel-layer determinism contract: every table the dispatcher can
+// select is bit-identical to the scalar reference on every operation —
+// fuzzed over random word buffers (including padding-word edge cases and
+// universe sizes not divisible by 64) — and estimator results do not change
+// when the table changes, at any thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/monte_carlo.h"
+#include "core/random_subset_system.h"
+#include "math/bernoulli.h"
+#include "math/rng.h"
+#include "quorum/bitset.h"
+#include "quorum/mask_batch.h"
+#include "quorum/set_system.h"
+#include "quorum/threshold.h"
+#include "simd/kernels.h"
+
+namespace pqs {
+namespace {
+
+std::vector<std::uint64_t> random_words(std::size_t n, math::Rng& rng) {
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) {
+    w = rng.next();
+    // Sprinkle all-zero / all-one words so carry/saturation paths get hit.
+    if (rng.chance(0.1)) w = 0;
+    if (rng.chance(0.1)) w = ~0ULL;
+  }
+  return words;
+}
+
+// Restores the dispatched table on scope exit so test order cannot leak a
+// forced table into other suites.
+class ActiveTableGuard {
+ public:
+  ActiveTableGuard() : saved_(&simd::active()) {}
+  ~ActiveTableGuard() { simd::force(*saved_); }
+
+ private:
+  const simd::Kernels* saved_;
+};
+
+class KernelEquivalence : public ::testing::TestWithParam<const simd::Kernels*> {
+};
+
+TEST_P(KernelEquivalence, WordOpsMatchScalarReference) {
+  const simd::Kernels& k = *GetParam();
+  const simd::Kernels& ref = simd::scalar();
+  math::Rng rng(0x51e7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t n = rng.below(41);  // 0..40 words (past one zmm block)
+    auto a = random_words(n, rng);
+    auto b = random_words(n, rng);
+    EXPECT_EQ(ref.popcount(a.data(), n), k.popcount(a.data(), n));
+    EXPECT_EQ(ref.and_popcount(a.data(), b.data(), n),
+              k.and_popcount(a.data(), b.data(), n));
+    EXPECT_EQ(ref.and_any(a.data(), b.data(), n),
+              k.and_any(a.data(), b.data(), n));
+    EXPECT_EQ(ref.andnot_any(a.data(), b.data(), n),
+              k.andnot_any(a.data(), b.data(), n));
+    EXPECT_EQ(ref.equal(a.data(), b.data(), n),
+              k.equal(a.data(), b.data(), n));
+    EXPECT_TRUE(k.equal(a.data(), a.data(), n));
+    if (n > 0) {
+      // Bit bounds both at word boundaries and inside padding-prone words.
+      const std::uint32_t nbits =
+          static_cast<std::uint32_t>(rng.below(64 * n + 1));
+      EXPECT_EQ(ref.popcount_prefix(a.data(), nbits),
+                k.popcount_prefix(a.data(), nbits));
+      EXPECT_EQ(ref.and_popcount_prefix(a.data(), b.data(), nbits),
+                k.and_popcount_prefix(a.data(), b.data(), nbits));
+      const std::uint32_t lo = static_cast<std::uint32_t>(rng.below(64 * n));
+      EXPECT_EQ(ref.and_popcount_from(a.data(), b.data(), n, lo),
+                k.and_popcount_from(a.data(), b.data(), n, lo));
+      // Conservation: prefix + from partition the bits of a & b.
+      EXPECT_EQ(k.and_popcount(a.data(), b.data(), n),
+                k.and_popcount_prefix(a.data(), b.data(), lo) +
+                    k.and_popcount_from(a.data(), b.data(), n, lo));
+    }
+    auto dst_ref = a;
+    auto dst_k = a;
+    ref.or_accum(dst_ref.data(), b.data(), n);
+    k.or_accum(dst_k.data(), b.data(), n);
+    EXPECT_EQ(dst_ref, dst_k);
+  }
+}
+
+TEST_P(KernelEquivalence, BatchOpsMatchPerItemLoops) {
+  const simd::Kernels& k = *GetParam();
+  const simd::Kernels& ref = simd::scalar();
+  math::Rng rng(0xba7c4);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = 1 + rng.below(20);
+    const std::size_t stride = 2 * n;  // the MaskBatch pair layout
+    const std::size_t count = rng.below(17);
+    auto flat = random_words(stride * count + n, rng);
+    const std::uint32_t lo = static_cast<std::uint32_t>(rng.below(64 * n));
+    const std::uint32_t nbits =
+        static_cast<std::uint32_t>(rng.below(64 * n + 1));
+    std::vector<std::uint32_t> out_ref(count, 0), out_k(count, 0);
+    ref.batch_and_popcount_from(flat.data(), flat.data() + n, stride, count, n,
+                                lo, out_ref.data());
+    k.batch_and_popcount_from(flat.data(), flat.data() + n, stride, count, n,
+                              lo, out_k.data());
+    EXPECT_EQ(out_ref, out_k);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out_ref[i], ref.and_popcount_from(flat.data() + i * stride,
+                                                  flat.data() + n + i * stride,
+                                                  n, lo));
+    }
+    ref.batch_popcount_prefix(flat.data(), stride, count, nbits,
+                              out_ref.data());
+    k.batch_popcount_prefix(flat.data(), stride, count, nbits, out_k.data());
+    EXPECT_EQ(out_ref, out_k);
+  }
+}
+
+TEST_P(KernelEquivalence, BernoulliFillMatchesScalarReference) {
+  const simd::Kernels& k = *GetParam();
+  const simd::Kernels& ref = simd::scalar();
+  math::Rng rng(0x6e60);
+  const double ps[] = {0.5,    0.25,   0.3,   0.75,  1.0 / 3.0, 0.999,
+                       1e-3,   1e-7,   1e-12, 0.125, 0.9999999, 0.0117};
+  for (double p : ps) {
+    const math::BernoulliBlockSampler sampler(p);
+    for (bool invert : {false, true}) {
+      const simd::BernoulliSpec spec = sampler.spec(invert);
+      for (std::size_t n : {1u, 2u, 7u, 8u, 9u, 16u, 31u, 157u}) {
+        const std::uint64_t seed = rng.next();
+        std::vector<std::uint64_t> out_ref(n, 0xabababababababab),
+            out_k(n, 0xcdcdcdcdcdcdcdcd);
+        ref.bernoulli_fill(out_ref.data(), n, spec, seed);
+        k.bernoulli_fill(out_k.data(), n, spec, seed);
+        EXPECT_EQ(out_ref, out_k) << "p=" << p << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, BernoulliFillHitsTheTargetRate) {
+  // Statistical sanity for the lane-stream contract itself (the scalar
+  // reference defines the stream; this checks it actually samples p).
+  const simd::Kernels& k = *GetParam();
+  for (double p : {0.1, 0.5, 0.83}) {
+    const math::BernoulliBlockSampler sampler(p);
+    const simd::BernoulliSpec spec = sampler.spec(false);
+    math::Rng rng(99);
+    const std::size_t words = 4096;
+    std::vector<std::uint64_t> buf(words);
+    std::uint64_t ones = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+      k.bernoulli_fill(buf.data(), words, spec, rng.next());
+      ones += simd::scalar().popcount(buf.data(), words);
+    }
+    const double trials = 4.0 * 64.0 * static_cast<double>(words);
+    const double rate = static_cast<double>(ones) / trials;
+    // ~1M trials: 5 sigma of sqrt(p(1-p)/n) stays well under 0.005.
+    EXPECT_NEAR(rate, p, 0.005) << "kernel=" << k.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTables, KernelEquivalence, ::testing::ValuesIn(simd::available()),
+    [](const ::testing::TestParamInfo<const simd::Kernels*>& info) {
+      return std::string(info.param->name);
+    });
+
+// ---- QuorumBitset routing --------------------------------------------------
+
+TEST(QuorumBitsetKernels, MethodsMatchBruteForceOnUnevenUniverses) {
+  math::Rng rng(0xb17);
+  for (std::uint32_t n : {1u, 63u, 64u, 65u, 100u, 127u, 128u, 300u, 901u}) {
+    quorum::QuorumBitset a(n), b(n);
+    std::vector<bool> va(n), vb(n);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (rng.chance(0.4)) {
+        a.set(u);
+        va[u] = true;
+      }
+      if (rng.chance(0.4)) {
+        b.set(u);
+        vb[u] = true;
+      }
+    }
+    std::uint32_t count_a = 0, inter = 0;
+    bool subset = true;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      count_a += va[u];
+      inter += va[u] && vb[u];
+      subset = subset && (!vb[u] || va[u]);
+    }
+    EXPECT_EQ(a.count(), count_a);
+    EXPECT_EQ(a.intersection_count(b), inter);
+    EXPECT_EQ(a.intersects(b), inter > 0);
+    EXPECT_EQ(a.contains_all(b), subset);
+    const std::uint32_t bound = static_cast<std::uint32_t>(rng.below(n + 1));
+    std::uint32_t below = 0, from = 0;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (u < bound && va[u]) ++below;
+      if (u >= bound && va[u] && vb[u]) ++from;
+    }
+    EXPECT_EQ(a.count_below(bound), below);
+    EXPECT_EQ(a.intersection_count_from(b, bound), from);
+    quorum::QuorumBitset u_mask = a;
+    u_mask.or_with(b);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      EXPECT_EQ(u_mask.test(u), va[u] || vb[u]);
+    }
+    EXPECT_TRUE(a.equals(a));
+    EXPECT_EQ(a.equals(b), a.contains_all(b) && b.contains_all(a));
+  }
+}
+
+TEST(MaskBatch, ViewsShareOneFlatBuffer) {
+  const std::uint32_t n = 130;  // 3 words, 62 padding bits
+  quorum::MaskBatch batch(n, 5);
+  EXPECT_EQ(batch.words_per_mask(), 3u);
+  for (std::size_t i = 0; i < batch.count(); ++i) {
+    quorum::QuorumBitset& m = batch.mask(i);
+    EXPECT_EQ(m.universe_size(), n);
+    m.set(static_cast<quorum::ServerId>(i));
+    m.set(n - 1);
+    EXPECT_EQ(m.words(), batch.words() + i * batch.words_per_mask());
+  }
+  // Writes through one view land in the flat buffer, not a private copy.
+  EXPECT_EQ(batch.words()[0], 1ULL);
+  EXPECT_EQ(batch.words()[1 * 3], 2ULL);
+  // Copying a view detaches it into an owning bitset.
+  quorum::QuorumBitset copy = batch.mask(2);
+  copy.set(77);
+  EXPECT_FALSE(batch.mask(2).test(77));
+  EXPECT_TRUE(copy.test(2) && copy.test(n - 1));
+}
+
+TEST(MaskBatch, SampleMasksFillsViewsLikeOwnedBitsets) {
+  const quorum::ThresholdSystem sys(100, 51);
+  math::Rng rng_batch(7), rng_own(7);
+  quorum::MaskBatch batch(100, 8);
+  sys.sample_masks(batch.masks(), 8, rng_batch);
+  std::vector<quorum::QuorumBitset> own(8, quorum::QuorumBitset(100));
+  sys.sample_masks(own.data(), 8, rng_own);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(batch.mask(i).equals(own[i])) << i;
+  }
+  EXPECT_EQ(rng_batch.next(), rng_own.next());
+}
+
+TEST(MaskBatch, AssigningSampleMaskWritesThroughTheView) {
+  // Regression: SetSystem::sample_mask fills by whole-bitset assignment
+  // (`out = stored_mask`); a view must receive the words in place — never
+  // silently detach into a private copy that leaves the flat buffer zero.
+  const auto sys = quorum::SetSystem::all_subsets(7, 4);
+  math::Rng rng_batch(11), rng_own(11);
+  quorum::MaskBatch batch(7, 6);
+  sys.sample_masks(batch.masks(), 6, rng_batch);
+  std::vector<quorum::QuorumBitset> own(6, quorum::QuorumBitset(7));
+  sys.sample_masks(own.data(), 6, rng_own);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(batch.mask(i).is_view()) << i;
+    EXPECT_TRUE(batch.mask(i).equals(own[i])) << i;
+    EXPECT_EQ(batch.mask(i).words(), batch.words() + i) << i;
+    EXPECT_EQ(batch.words()[i], own[i].words()[0]) << i;
+  }
+  // And the estimator built on the flat buffer agrees with ground truth:
+  // any two 4-subsets of a 7-universe intersect, so the rate is zero.
+  math::Rng rng(123);
+  core::Estimator engine({1});
+  const auto est = core::estimate_nonintersection(sys, 5000, rng, engine);
+  EXPECT_EQ(est.successes(), 0u);
+}
+
+TEST(QuorumBitsetKernels, ResizeToZeroStaysOwningAndRegrows) {
+  quorum::QuorumBitset m(100);
+  m.set(99);
+  m.resize(0);
+  EXPECT_FALSE(m.is_view());
+  m.resize(64);  // must reallocate, not trip the view guard
+  EXPECT_EQ(m.universe_size(), 64u);
+  EXPECT_EQ(m.count(), 0u);
+  m.set(63);
+  EXPECT_EQ(m.count(), 1u);
+}
+
+// ---- estimator invariance ---------------------------------------------------
+
+TEST(KernelDispatch, EstimatorResultsIdenticalAcrossTablesAndThreads) {
+  ActiveTableGuard guard;
+  const core::RandomSubsetSystem sys(150, 40);
+  struct Key {
+    std::uint64_t a, b, c, d, e, f, g, h;
+    bool operator==(const Key& o) const {
+      return a == o.a && b == o.b && c == o.c && d == o.d && e == o.e &&
+             f == o.f && g == o.g && h == o.h;
+    }
+  };
+  std::vector<Key> results;
+  for (const simd::Kernels* table : simd::available()) {
+    simd::force(*table);
+    for (unsigned threads : {1u, 8u}) {
+      core::Estimator engine({threads});
+      math::Rng rng(20260727);
+      const auto ni = core::estimate_nonintersection(sys, 20000, rng, engine);
+      const auto de =
+          core::estimate_dissemination_epsilon(sys, 12, 20000, rng, engine);
+      const auto ma =
+          core::estimate_masking_epsilon(sys, 12, 7, 20000, rng, engine);
+      const auto fp =
+          core::estimate_failure_probability(sys, 0.6, 20000, rng, engine);
+      results.push_back(Key{ni.successes(), ni.trials(), de.successes(),
+                            de.trials(), ma.successes(), ma.trials(),
+                            fp.successes(), fp.trials()});
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i] == results[0]) << "combination " << i;
+  }
+}
+
+TEST(KernelDispatch, ScalarIsAlwaysAvailableAndFirst) {
+  const auto tables = simd::available();
+  ASSERT_FALSE(tables.empty());
+  EXPECT_STREQ(tables[0]->name, "scalar");
+  EXPECT_NE(simd::find("scalar"), nullptr);
+  EXPECT_EQ(simd::find("not-an-isa"), nullptr);
+}
+
+}  // namespace
+}  // namespace pqs
