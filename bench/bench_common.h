@@ -12,6 +12,7 @@
 //   --samples=N   trial count override (0 = keep the bench's default)
 //   --json=PATH   machine-readable report (benches that support it)
 //   --writers=N   contending writer clients per shard (protocol harness)
+//   --repair      enable the read-repair experiment (protocol harness)
 #pragma once
 
 #include <cmath>
@@ -32,6 +33,10 @@ struct Options {
   // contention: with one writer, timestamps are strictly increasing and
   // the conflict metrics are identically zero.
   std::uint32_t writers = 4;
+  // Run the contention-aware read-repair experiment (protocol harness):
+  // the multi-writer section repeats with repair write-backs enabled and
+  // reports how the repair traffic shifts the load profile.
+  bool repair = false;
 
   // The bench's trial count after the override.
   std::uint64_t samples_or(std::uint64_t fallback) const {
@@ -61,6 +66,8 @@ inline Options parse_options(int argc, char** argv) {
       opts.json = v3;
     } else if (const char* v4 = read_value(argv[i], "--writers", i)) {
       opts.writers = static_cast<std::uint32_t>(std::strtoul(v4, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--repair") == 0) {
+      opts.repair = true;
     } else {
       std::fprintf(stderr, "ignoring unknown argument: %s\n", argv[i]);
     }

@@ -8,10 +8,25 @@ SIMD table is slower than scalar by more than the tolerated ratio (default
 table produce no SIMD rows and pass vacuously, so the gate is safe on
 non-AVX2 hardware.
 
+Additionally verifies that every gated kernel family is present in the
+report at all (scalar rows included), so a kernel silently dropping out of
+micro_ops — column-accumulate included — fails the gate instead of
+passing vacuously.
+
 Usage: check_simd_speedup.py BENCH_micro.json [required_speedup_ratio]
 """
 import json
 import sys
+
+# Every BM_Kernel_* family micro_ops must report. Grows with the kernel
+# table: a new kernel lands with its bench rows, and this list pins them.
+REQUIRED_FAMILIES = (
+    "BM_Kernel_Popcount",
+    "BM_Kernel_AndPopcount",
+    "BM_Kernel_BatchAndPopcountFrom",
+    "BM_Kernel_ColumnAccumulate",
+    "BM_Kernel_AliveMaskFill",
+)
 
 
 def main() -> int:
@@ -29,6 +44,13 @@ def main() -> int:
         if len(parts) != 3 or not parts[0].startswith("BM_Kernel_"):
             continue
         rows[(parts[0], parts[2], parts[1])] = bench["real_time"]
+
+    present = {family for (family, _, _) in rows}
+    absent = [f for f in REQUIRED_FAMILIES if f not in present]
+    if absent:
+        print("FAIL: kernel families missing from the report: "
+              + ", ".join(absent))
+        return 1
 
     compared = 0
     failed = []

@@ -132,6 +132,25 @@ void KernelBatchAndPopcountFrom(benchmark::State& state,
                           static_cast<std::int64_t>(kPairs));
 }
 
+// The load-estimator shape: one strided column-accumulate sweep tallying a
+// 16-mask sample_masks chunk into the per-server histogram. The scalar row
+// is the per-bit ctz walk estimate_server_loads ran before the kernel
+// existed, so the scalar-vs-SIMD ratio here *is* the kernelized-estimator
+// vs per-bit-walk comparison check_simd_speedup.py gates.
+void KernelColumnAccumulate(benchmark::State& state, const simd::Kernels* k) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kMasks = 16;  // core::monte_carlo's kDrawBatch
+  const auto flat = bench_words(words * kMasks, 26);
+  std::vector<std::uint64_t> counts(64 * words, 0);
+  for (auto _ : state) {
+    k->batch_column_accumulate(flat.data(), words, kMasks, words,
+                               counts.data());
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMasks));
+}
+
 // Alive-mask generation through each table's Bernoulli fill (dead
 // probability 0.3, inverted — exactly what estimate_failure_probability
 // asks per trial).
@@ -165,6 +184,11 @@ void register_kernel_benches() {
     benchmark::RegisterBenchmark(
         ("BM_Kernel_BatchAndPopcountFrom" + suffix).c_str(),
         [k](benchmark::State& s) { KernelBatchAndPopcountFrom(s, k); })
+        ->Arg(15)
+        ->Arg(157);
+    benchmark::RegisterBenchmark(
+        ("BM_Kernel_ColumnAccumulate" + suffix).c_str(),
+        [k](benchmark::State& s) { KernelColumnAccumulate(s, k); })
         ->Arg(15)
         ->Arg(157);
     benchmark::RegisterBenchmark(
@@ -360,6 +384,23 @@ void BM_EstimateNonintersection_Engine(benchmark::State& state) {
                           static_cast<std::int64_t>(kEstimateSamples));
 }
 
+// The load estimator end to end (draws + column-accumulate tallies);
+// range(1) is the thread count.
+void BM_EstimateLoadProfile_Engine(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
+  core::Estimator engine({static_cast<unsigned>(state.range(1))});
+  math::Rng rng(12);
+  AllocCounter allocs(state, static_cast<double>(kEstimateSamples));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::estimate_load_profile(sys, kEstimateSamples, rng, engine));
+  }
+  allocs.report();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEstimateSamples));
+}
+
 void BM_EstimateFailureProbability_Engine(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const core::RandomSubsetSystem sys(n, bench_quorum_size(n));
@@ -476,6 +517,10 @@ BENCHMARK(BM_EstimateNonintersection_Engine)
     ->Args({900, 1})
     ->Args({900, 2})
     ->Args({900, 4})
+    ->Args({900, 8})
+    ->UseRealTime();
+BENCHMARK(BM_EstimateLoadProfile_Engine)
+    ->Args({900, 1})
     ->Args({900, 8})
     ->UseRealTime();
 BENCHMARK(BM_EstimateFailureProbability_Engine)

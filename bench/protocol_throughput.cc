@@ -26,8 +26,10 @@
 //
 // Flags: --threads=N (pool size, 0 = hardware), --samples=N (ops per
 // shard; default 100000), --writers=N (contending writer clients per shard
-// in the multi-writer section; default 4, max 255), --json=PATH
-// (machine-readable report: ops/s, allocs/op, conflict rates, and the
+// in the multi-writer section; default 4, max 255), --repair (repeat the
+// multi-writer section with read-repair write-backs and report the load
+// shift), --json=PATH (machine-readable report: ops/s, allocs/op, conflict
+// rates, per-server contention counters and load profiles, and the
 // dispatched SIMD kernel — CI archives it as BENCH_protocol.json).
 //
 // The multi-writer section measures timestamp-conflict behaviour under
@@ -36,7 +38,15 @@
 // the key's current maximum — it lost the ordering race, and every server
 // that already holds the newer record ignores it (the standard (seq <<
 // 16) | writer multi-writer extension; the paper's single-writer semantics
-// are the default section above).
+// are the default section above). The section reports the server-side
+// observability layer: per-server writes_superseded counters
+// (stats::ContentionSnapshot) and the measured per-server load profile
+// (stats::LoadProfile over server contacts). With --repair, reads push the
+// selected record back to quorum members that answered stale
+// (InstantCluster::read_repair_into); repair consumes no rng draws, so the
+// quorum streams are unchanged and the profile shift is purely the repair
+// traffic. The repair run is verified bit-identical across draw paths and
+// thread counts, like the main section.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -53,6 +63,8 @@
 #include "quorum/threshold.h"
 #include "replica/instant_cluster.h"
 #include "simd/kernels.h"
+#include "stats/counters.h"
+#include "stats/load_profile.h"
 #include "util/worker_pool.h"
 #include "workload/workload.h"
 
@@ -204,7 +216,14 @@ struct MultiWriterResult {
   // quorums the contending writes landed on, so it differentiates the
   // systems under test.
   std::uint64_t write_contacts = 0;
-  std::uint64_t superseded = 0;
+  std::uint64_t repairs = 0;  // read-repair write-backs (repair runs only)
+  // Client-side quorum contacts per server, folded across shards — a pure
+  // function of the draw streams, so identical with repair on or off.
+  std::vector<std::uint64_t> accesses;
+  // Per-server protocol counters folded across shards. writes_accepted +
+  // reads_served is the server-side contact count *including* repair
+  // traffic — the load profile that shifts when --repair is on.
+  stats::ContentionSnapshot contention;
   double seconds = 0.0;
   double allocs_per_op = 0.0;
 
@@ -213,19 +232,44 @@ struct MultiWriterResult {
                        : static_cast<double>(conflicts) /
                              static_cast<double>(writes);
   }
+  // Derived from the contention snapshot so it cannot drift from the
+  // per-server counters it summarizes.
+  std::uint64_t superseded() const {
+    return contention.totals().writes_superseded;
+  }
   double superseded_rate() const {
     return write_contacts == 0 ? 0.0
-                               : static_cast<double>(superseded) /
+                               : static_cast<double>(superseded()) /
                                      static_cast<double>(write_contacts);
+  }
+  // Measured per-server load over server-side contacts (repair included).
+  stats::LoadProfile server_profile() const {
+    std::vector<std::uint64_t> hits(contention.universe_size(), 0);
+    for (std::uint32_t u = 0; u < contention.universe_size(); ++u) {
+      const auto& c = contention.server(u);
+      hits[u] = c.writes_accepted + c.reads_served;
+    }
+    return stats::LoadProfile(std::move(hits), writes + reads);
+  }
+  // Everything deterministic (no timings): the bit-identity gate across
+  // draw paths and thread counts.
+  bool counters_equal(const MultiWriterResult& o) const {
+    return writes == o.writes && reads == o.reads &&
+           conflicts == o.conflicts && covered == o.covered &&
+           write_contacts == o.write_contacts && repairs == o.repairs &&
+           accesses == o.accesses && contention == o.contention;
   }
 };
 
 MultiWriterResult run_multi_writer(
     const std::shared_ptr<const quorum::QuorumSystem>& sys,
-    std::uint32_t writers, std::uint64_t ops_per_shard, unsigned threads) {
+    std::uint32_t writers, std::uint64_t ops_per_shard, unsigned threads,
+    DrawPath path, bool repair) {
   struct ShardStats {
     std::uint64_t writes = 0, reads = 0, conflicts = 0, covered = 0;
-    std::uint64_t write_contacts = 0, superseded = 0;
+    std::uint64_t write_contacts = 0, repairs = 0;
+    std::vector<std::uint64_t> accesses;
+    stats::ContentionSnapshot contention;
   };
   std::vector<std::unique_ptr<InstantCluster>> clusters;
   clusters.reserve(kShards);
@@ -233,6 +277,7 @@ MultiWriterResult run_multi_writer(
     InstantCluster::Config cfg;
     cfg.quorums = sys;
     cfg.seed = 2000003ULL * (s + 1);
+    cfg.draw_path = path;
     clusters.push_back(std::make_unique<InstantCluster>(cfg));
   }
   std::vector<ShardStats> stats(kShards);
@@ -253,12 +298,19 @@ MultiWriterResult run_multi_writer(
     replica::WriteResult w;
     replica::ReadResult r;
     ShardStats& out = stats[s];
+    out.accesses.assign(n, 0);
     std::int64_t value = 0;
     for (std::uint64_t op = 0; op < ops_per_shard; ++op) {
       const std::uint64_t key = keys.sample(rng);
       if (rng.chance(0.5)) {
         ++out.reads;
-        cluster.read_into(r, key);
+        if (repair) {
+          cluster.read_repair_into(r, key);
+          out.repairs += r.repairs;
+        } else {
+          cluster.read_into(r, key);
+        }
+        for (const auto u : r.quorum) ++out.accesses[u];
         op_mask.assign(r.quorum);
       } else {
         ++out.writes;
@@ -274,14 +326,13 @@ MultiWriterResult run_multi_writer(
         } else {
           seen = w.timestamp;
         }
+        for (const auto u : w.quorum) ++out.accesses[u];
         op_mask.assign(w.quorum);
       }
       touched.or_with(op_mask);
     }
     out.covered = touched.count();
-    for (std::uint32_t u = 0; u < n; ++u) {
-      out.superseded += cluster.server(u).writes_superseded();
-    }
+    out.contention = cluster.contention_snapshot();
   });
   const auto t1 = std::chrono::steady_clock::now();
   const std::uint64_t after = bench::allocations();
@@ -293,7 +344,15 @@ MultiWriterResult run_multi_writer(
     result.conflicts += s.conflicts;
     result.covered += s.covered;
     result.write_contacts += s.write_contacts;
-    result.superseded += s.superseded;
+    result.repairs += s.repairs;
+    if (result.accesses.empty()) {
+      result.accesses = s.accesses;
+    } else {
+      for (std::size_t u = 0; u < s.accesses.size(); ++u) {
+        result.accesses[u] += s.accesses[u];
+      }
+    }
+    result.contention.merge(s.contention);
   }
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   result.allocs_per_op =
@@ -341,7 +400,38 @@ struct SystemReport {
   RunResult legacy;
   RunResult mask;
   MultiWriterResult multi;
+  bool has_repair = false;
+  MultiWriterResult repaired;
 };
+
+// One multi-writer JSON object: rates, repair count, the per-server
+// superseded counters, and the measured server-side load profile.
+void write_multi_writer_json(std::FILE* f, const char* key,
+                             const MultiWriterResult& m, std::uint32_t writers,
+                             double total_ops) {
+  const stats::LoadProfile profile = m.server_profile();
+  std::fprintf(f,
+               "      \"%s\": {\"writers\": %u, \"ops_per_sec\": %.6g, "
+               "\"conflict_rate\": %.6f, \"superseded_rate\": %.6f, "
+               "\"repairs\": %" PRIu64 ", \"allocs_per_op\": %.4f,\n"
+               "        \"load_profile\": {\"max_load\": %.6f, "
+               "\"mean_load\": %.6f, \"imbalance\": %.4f, \"top\": [",
+               key, writers, total_ops / m.seconds, m.conflict_rate(),
+               m.superseded_rate(), m.repairs, m.allocs_per_op,
+               profile.max_load(), profile.mean_load(), profile.imbalance());
+  const auto top = profile.hottest(5);
+  for (std::size_t t = 0; t < top.size(); ++t) {
+    std::fprintf(f, "{\"server\": %u, \"load\": %.6f}%s", top[t].server,
+                 top[t].load, t + 1 < top.size() ? ", " : "");
+  }
+  std::fprintf(f, "]},\n        \"superseded_per_server\": [");
+  const auto& per_server = m.contention.per_server();
+  for (std::size_t u = 0; u < per_server.size(); ++u) {
+    std::fprintf(f, "%" PRIu64 "%s", per_server[u].writes_superseded,
+                 u + 1 < per_server.size() ? ", " : "");
+  }
+  std::fprintf(f, "]}");
+}
 
 void write_json(const char* path, const std::vector<SystemReport>& systems,
                 std::uint64_t ops_per_shard, std::uint32_t writers, bool ok) {
@@ -367,16 +457,17 @@ void write_json(const char* path, const std::vector<SystemReport>& systems,
         "      \"allocating\": {\"ops_per_sec\": %.6g, \"allocs_per_op\": "
         "%.4f},\n"
         "      \"mask\": {\"ops_per_sec\": %.6g, \"allocs_per_op\": %.4f},\n"
-        "      \"speedup\": %.4f,\n"
-        "      \"multi_writer\": {\"writers\": %u, \"ops_per_sec\": %.6g, "
-        "\"conflict_rate\": %.6f, \"superseded_rate\": %.6f, "
-        "\"allocs_per_op\": %.4f}\n    }%s\n",
+        "      \"speedup\": %.4f,\n",
         s.name.c_str(), total_ops / s.legacy.seconds, s.legacy.allocs_per_op,
         total_ops / s.mask.seconds, s.mask.allocs_per_op,
-        s.legacy.seconds / s.mask.seconds, writers,
-        total_ops / s.multi.seconds, s.multi.conflict_rate(),
-        s.multi.superseded_rate(), s.multi.allocs_per_op,
-        i + 1 < systems.size() ? "," : "");
+        s.legacy.seconds / s.mask.seconds);
+    write_multi_writer_json(f, "multi_writer", s.multi, writers, total_ops);
+    if (s.has_repair) {
+      std::fprintf(f, ",\n");
+      write_multi_writer_json(f, "multi_writer_repair", s.repaired, writers,
+                              total_ops);
+    }
+    std::fprintf(f, "\n    }%s\n", i + 1 < systems.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -388,6 +479,7 @@ int main_impl(int argc, char** argv) {
   const unsigned threads = opts.threads;
   const std::uint32_t writers =
       opts.writers < 1 ? 1 : (opts.writers > 255 ? 255 : opts.writers);
+  const bool repair = opts.repair;
 
   std::printf(
       "protocol_throughput: %u shards x %" PRIu64
@@ -431,17 +523,67 @@ int main_impl(int argc, char** argv) {
     std::printf("[protocol] system=%s speedup=%.2fx\n", sys->name().c_str(),
                 legacy.seconds / mask.seconds);
 
-    const MultiWriterResult multi =
-        run_multi_writer(sys, writers, ops_per_shard, threads);
+    const MultiWriterResult multi = run_multi_writer(
+        sys, writers, ops_per_shard, threads, DrawPath::kMask, false);
+    const stats::LoadProfile base_profile = multi.server_profile();
     std::printf(
         "[multiwriter] system=%s writers=%u ops/sec=%.3g conflict_rate=%.4f "
-        "superseded_rate=%.4f coverage=%.1f allocs/op=%.2f\n",
+        "superseded_rate=%.4f coverage=%.1f max_load=%.4f imbalance=%.3f "
+        "allocs/op=%.2f\n",
         sys->name().c_str(), writers, total_ops / multi.seconds,
         multi.conflict_rate(), multi.superseded_rate(),
         static_cast<double>(multi.covered) / static_cast<double>(kShards),
+        base_profile.max_load(), base_profile.imbalance(),
         multi.allocs_per_op);
 
-    reports.push_back(SystemReport{sys->name(), legacy, mask, multi});
+    SystemReport report{sys->name(), legacy, mask, multi, false, {}};
+    if (repair) {
+      // The read-repair experiment: same draws (repair consumes no rng),
+      // so the access counters match the base run by construction, and the
+      // whole run must be bit-identical across draw paths and thread
+      // counts like the main section.
+      report.has_repair = true;
+      report.repaired = run_multi_writer(sys, writers, ops_per_shard,
+                                         threads, DrawPath::kMask, true);
+      const MultiWriterResult repaired_serial = run_multi_writer(
+          sys, writers, ops_per_shard, 1, DrawPath::kMask, true);
+      if (!report.repaired.counters_equal(repaired_serial)) {
+        std::printf(
+            "MISMATCH: %s repair aggregates differ between thread counts\n",
+            sys->name().c_str());
+        ok = false;
+      }
+      const MultiWriterResult repaired_alloc = run_multi_writer(
+          sys, writers, ops_per_shard, threads, DrawPath::kAllocating, true);
+      if (!report.repaired.counters_equal(repaired_alloc)) {
+        std::printf(
+            "MISMATCH: %s repair aggregates differ between draw paths\n",
+            sys->name().c_str());
+        ok = false;
+      }
+      if (report.repaired.accesses != multi.accesses) {
+        std::printf(
+            "MISMATCH: %s repair changed the quorum access counters\n",
+            sys->name().c_str());
+        ok = false;
+      }
+      const stats::LoadProfile repaired_profile =
+          report.repaired.server_profile();
+      std::printf(
+          "[repair] system=%s repairs=%" PRIu64
+          " repairs/read=%.4f max_load %.4f->%.4f imbalance %.3f->%.3f "
+          "superseded_rate %.4f->%.4f\n",
+          sys->name().c_str(), report.repaired.repairs,
+          report.repaired.reads == 0
+              ? 0.0
+              : static_cast<double>(report.repaired.repairs) /
+                    static_cast<double>(report.repaired.reads),
+          base_profile.max_load(), repaired_profile.max_load(),
+          base_profile.imbalance(), repaired_profile.imbalance(),
+          multi.superseded_rate(), report.repaired.superseded_rate());
+    }
+
+    reports.push_back(std::move(report));
   }
 
   const std::uint64_t draws = ops_per_shard < 8192 ? 32768 : 1u << 20;

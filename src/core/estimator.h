@@ -51,10 +51,22 @@ class Estimator {
   // Process-wide default engine (hardware concurrency, default shards).
   static Estimator& shared();
 
-  // Runs `samples` trials split across the shard grid. For each shard i,
-  // calls per_shard(i, shard_samples, shard_rng) -> R from a pool thread,
-  // then folds the results in shard index order via reduce(acc, part)
-  // starting from a value-initialized R. Advances `rng` once.
+  /// Runs `samples` trials split across the fixed shard grid and reduces
+  /// the per-shard results deterministically.
+  ///
+  /// \tparam R         per-shard (and final) result type; shards start
+  ///                   from a value-initialized `R{}`.
+  /// \param samples    total trials, split as evenly as the grid allows.
+  /// \param rng        the caller's generator; advanced exactly once (one
+  ///                   fork seeds every shard substream), so back-to-back
+  ///                   estimates stay independent.
+  /// \param per_shard  called as per_shard(i, shard_samples, shard_rng)
+  ///                   -> R from a pool thread; shard_rng is the shard's
+  ///                   private, non-overlapping substream.
+  /// \param reduce     called as reduce(acc, part) in shard index order.
+  /// \return the fold of every shard's result — a pure function of
+  ///         (caller RNG state, samples, shard count), bit-identical at
+  ///         any thread count.
   template <typename R, typename PerShard, typename Reduce>
   R run_trials(std::uint64_t samples, math::Rng& rng, PerShard&& per_shard,
                Reduce&& reduce) {

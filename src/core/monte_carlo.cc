@@ -129,45 +129,51 @@ math::Proportion estimate_masking_epsilon(const quorum::QuorumSystem& system,
       merge_proportion);
 }
 
-std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
-                                          std::uint64_t samples,
-                                          math::Rng& rng, Estimator& engine) {
+stats::LoadProfile estimate_load_profile(const quorum::QuorumSystem& system,
+                                         std::uint64_t samples,
+                                         math::Rng& rng, Estimator& engine) {
   PQS_REQUIRE(samples > 0, "samples");
   const std::uint32_t n = system.universe_size();
-  const auto hits = engine.run_trials<std::vector<std::uint64_t>>(
+  auto hits = engine.run_trials<std::vector<std::uint64_t>>(
       samples, rng,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
-        std::vector<std::uint64_t> shard_hits(n, 0);
+        // The histogram is word-major (64 slots per mask word, so slots
+        // >= n mirror the always-zero padding bits); each filled chunk is
+        // tallied by one strided column-accumulate sweep instead of a
+        // per-draw set-bit walk. Exact integer sums — bit-identical to
+        // the walk on every ISA.
         quorum::MaskBatch batch(n, kDrawBatch);
+        const std::size_t w = batch.words_per_mask();
+        std::vector<std::uint64_t> hist(64 * w, 0);
         std::uint64_t done = 0;
         while (done < shard_samples) {
           const std::size_t draws = static_cast<std::size_t>(
               std::min<std::uint64_t>(shard_samples - done, kDrawBatch));
           system.sample_masks(batch.masks(), draws, shard_rng);
-          for (std::size_t i = 0; i < draws; ++i) {
-            batch.mask(i).for_each_set_bit(
-                [&shard_hits](quorum::ServerId u) { ++shard_hits[u]; });
-          }
+          simd::active().batch_column_accumulate(batch.words(), w, draws, w,
+                                                 hist.data());
           done += draws;
         }
-        return shard_hits;
+        hist.resize(n);  // drop the padding slots, all zero by invariant
+        return hist;
       },
       [n](std::vector<std::uint64_t>& acc,
           const std::vector<std::uint64_t>& part) {
         acc.resize(n, 0);
         for (std::uint32_t u = 0; u < n; ++u) acc[u] += part[u];
       });
-  std::vector<double> loads(hits.size());
-  for (std::size_t u = 0; u < hits.size(); ++u) {
-    loads[u] = static_cast<double>(hits[u]) / static_cast<double>(samples);
-  }
-  return loads;
+  return stats::LoadProfile(std::move(hits), samples);
+}
+
+std::vector<double> estimate_server_loads(const quorum::QuorumSystem& system,
+                                          std::uint64_t samples,
+                                          math::Rng& rng, Estimator& engine) {
+  return estimate_load_profile(system, samples, rng, engine).loads();
 }
 
 double estimate_load(const quorum::QuorumSystem& system, std::uint64_t samples,
                      math::Rng& rng, Estimator& engine) {
-  const auto loads = estimate_server_loads(system, samples, rng, engine);
-  return *std::max_element(loads.begin(), loads.end());
+  return estimate_load_profile(system, samples, rng, engine).max_load();
 }
 
 math::Proportion estimate_failure_probability(

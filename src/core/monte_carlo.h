@@ -33,6 +33,7 @@
 #include "math/rng.h"
 #include "math/stats.h"
 #include "quorum/quorum_system.h"
+#include "stats/load_profile.h"
 
 namespace pqs::core {
 
@@ -53,8 +54,20 @@ math::Proportion estimate_masking_epsilon(
     std::uint64_t samples, math::Rng& rng,
     Estimator& engine = Estimator::shared());
 
-// Per-server access frequencies over `samples` draws; result[u] estimates
-// l_w(u). The maximum entry estimates the induced load L_w.
+// Per-server access-frequency profile over `samples` draws: hits[u]
+// estimates l_w(u) * samples, max_load() estimates the induced load L_w,
+// and the profile carries the shape measures (mean, imbalance, top-k hot
+// servers) the scalar load discards. This is the one load-estimation entry
+// point; draws run in sample_masks chunks tallied by the strided
+// column-accumulate kernel (simd::Kernels::batch_column_accumulate), with
+// hit counts bit-identical to a per-draw set-bit walk at any thread count.
+stats::LoadProfile estimate_load_profile(
+    const quorum::QuorumSystem& system, std::uint64_t samples, math::Rng& rng,
+    Estimator& engine = Estimator::shared());
+
+// Thin wrappers over estimate_load_profile, kept so existing callers (and
+// the examples) don't churn: the loads vector is profile.loads(), the
+// scalar load is profile.max_load(). Same draws, same results.
 std::vector<double> estimate_server_loads(
     const quorum::QuorumSystem& system, std::uint64_t samples, math::Rng& rng,
     Estimator& engine = Estimator::shared());

@@ -6,6 +6,7 @@
 #include "math/sampling.h"
 #include "math/stats.h"
 #include "quorum/engine_link.h"
+#include "quorum/measures.h"
 #include "util/require.h"
 
 namespace pqs::quorum {
@@ -119,10 +120,9 @@ std::uint32_t GridSystem::min_quorum_size() const {
 }
 
 double GridSystem::load() const {
-  // P(server in quorum) = P(its row chosen) + P(its col chosen) - both.
-  const double pr = static_cast<double>(d_) / rows_;
-  const double pc = static_cast<double>(d_) / cols_;
-  return pr + pc - pr * pc;
+  // Every server is symmetric under the uniform row/column strategy, so
+  // the load is the (shared) per-server access probability.
+  return grid_server_load(rows_, cols_, d_);
 }
 
 std::uint32_t GridSystem::fault_tolerance() const {

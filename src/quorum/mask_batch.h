@@ -21,8 +21,13 @@
 
 namespace pqs::quorum {
 
+/// A chunk of quorum masks in one flat word buffer, exposed as
+/// QuorumBitset views so the draw entry points fill it unchanged while
+/// batch kernels sweep the whole buffer in one strided call.
 class MaskBatch {
  public:
+  /// Lays out `count` masks over a universe of `universe_size` bits; mask
+  /// i occupies words [i*words_per_mask(), (i+1)*words_per_mask()).
   MaskBatch(std::uint32_t universe_size, std::size_t count);
 
   MaskBatch(const MaskBatch&) = delete;
@@ -32,14 +37,18 @@ class MaskBatch {
 
   std::uint32_t universe_size() const { return n_; }
   std::size_t count() const { return masks_.size(); }
+  /// ceil(universe_size / 64) — the stride between consecutive masks.
   std::size_t words_per_mask() const { return words_per_mask_; }
 
-  // The views, suitable for QuorumSystem::sample_masks(masks(), k, rng).
+  /// The views, suitable for QuorumSystem::sample_masks(masks(), k, rng).
+  /// Each view keeps the bitset padding invariant individually, so the
+  /// flat buffer is always kernel-clean.
   QuorumBitset* masks() { return masks_.data(); }
   QuorumBitset& mask(std::size_t i) { return masks_[i]; }
   const QuorumBitset& mask(std::size_t i) const { return masks_[i]; }
 
-  // The flat buffer (count * words_per_mask words), for batch kernels.
+  /// The flat buffer (count() * words_per_mask() words), for the strided
+  /// simd::Kernels::batch_* calls.
   std::uint64_t* words() { return words_.data(); }
   const std::uint64_t* words() const { return words_.data(); }
 

@@ -1,6 +1,7 @@
 #include "quorum/measures.h"
 
 #include "math/binomial.h"
+#include "util/require.h"
 
 namespace pqs::quorum {
 
@@ -8,6 +9,21 @@ double size_based_failure_probability(std::int64_t n, std::int64_t q,
                                       double p) {
   // Disabled iff more than n - q servers crashed.
   return math::binomial_upper_tail(n, p, n - q + 1);
+}
+
+double grid_server_load(std::uint32_t rows, std::uint32_t cols,
+                        std::uint32_t d) {
+  PQS_REQUIRE(rows >= 1 && cols >= 1 && d >= 1, "grid dimensions");
+  const double pr = static_cast<double>(d) / rows;
+  const double pc = static_cast<double>(d) / cols;
+  return pr + pc - pr * pc;
+}
+
+double wall_server_load(const std::vector<std::uint32_t>& widths,
+                        std::uint32_t row) {
+  PQS_REQUIRE(row < widths.size(), "wall row");
+  const double d = static_cast<double>(widths.size());
+  return (1.0 + static_cast<double>(row) / widths[row]) / d;
 }
 
 }  // namespace pqs::quorum

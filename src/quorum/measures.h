@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace pqs::quorum {
 
@@ -11,5 +12,21 @@ namespace pqs::quorum {
 // R(n, q)): F_p = P(#crashed > n - q) for iid crash probability p.
 double size_based_failure_probability(std::int64_t n, std::int64_t q,
                                       double p);
+
+// Closed-form per-server access probabilities under the uniform strategies,
+// used by the constructions' load() and asserted against the measured
+// LoadProfile by tests/test_load_profile.cc.
+
+// Grid with d random rows + d random columns: every server is symmetric,
+// l(u) = P(row chosen) + P(col chosen) - P(both) = d/r + d/c - d^2/(rc).
+double grid_server_load(std::uint32_t rows, std::uint32_t cols,
+                        std::uint32_t d);
+
+// Crumbling wall with row widths w_0..w_{d-1} (0-based, top first): a
+// server in row i is used when its row is the chosen full row (prob 1/d)
+// or as the representative of row i for one of the i rows above it
+// (prob (i/d) * (1/w_i)), so l(u) = (1 + i/w_i) / d for u in row i.
+double wall_server_load(const std::vector<std::uint32_t>& widths,
+                        std::uint32_t row);
 
 }  // namespace pqs::quorum

@@ -53,12 +53,21 @@ class QuorumSystem {
   // default copies a sample() draw.
   virtual void sample_mask(QuorumBitset& out, math::Rng& rng) const;
 
-  // Draws `count` quorums into out[0..count), in draw order, consuming the
-  // rng exactly as `count` successive sample_mask() calls would — batching
-  // changes dispatch cost, never the stream. The default loops sample_mask;
-  // constructions whose mask fill is non-virtual override to pay one
-  // virtual call per batch instead of one per draw (the estimators and the
-  // protocol throughput harness draw in chunks through this entry point).
+  /// Draws `count` quorums into out[0..count), in draw order.
+  ///
+  /// \param out   `count` bitsets (owned, or quorum::MaskBatch views over
+  ///              one flat buffer); each is resized to the universe and
+  ///              overwritten with one drawn quorum.
+  /// \param count quorums to draw.
+  /// \param rng   consumed exactly as `count` successive sample_mask()
+  ///              calls would consume it — batching changes dispatch
+  ///              cost, never the stream, so results are independent of
+  ///              the chunk size a caller picks.
+  ///
+  /// The default loops sample_mask; constructions whose mask fill is
+  /// non-virtual override to pay one virtual call per batch instead of
+  /// one per draw (the estimators and the protocol throughput harness
+  /// draw in chunks through this entry point).
   virtual void sample_masks(QuorumBitset* out, std::size_t count,
                             math::Rng& rng) const;
 

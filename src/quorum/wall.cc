@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "quorum/measures.h"
 #include "util/require.h"
 
 namespace pqs::quorum {
@@ -72,13 +73,11 @@ std::uint32_t WallSystem::min_quorum_size() const {
 }
 
 double WallSystem::load() const {
-  const double d = static_cast<double>(rows());
+  // Max over rows of the per-server closed form: full-row use (the row's
+  // own choice) plus representative duty for the rows above it.
   double worst = 0.0;
   for (std::uint32_t i = 0; i < rows(); ++i) {
-    // Full-row use (its own choice) plus representative duty for the i
-    // rows above it.
-    worst = std::max(
-        worst, (1.0 + static_cast<double>(i) / widths_[i]) / d);
+    worst = std::max(worst, wall_server_load(widths_, i));
   }
   return worst;
 }

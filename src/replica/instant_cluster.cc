@@ -85,6 +85,7 @@ ReadResult InstantCluster::read(VariableId variable) {
 
 void InstantCluster::read_into(ReadResult& result, VariableId variable) {
   result.replies = 0;
+  result.repairs = 0;
   reply_scratch_.clear();
   if (config_.draw_path == DrawPath::kMask) {
     config_.quorums->sample_mask(draw_mask_, rng_);
@@ -112,6 +113,31 @@ void InstantCluster::read_into(ReadResult& result, VariableId variable) {
   }
   result.selection =
       select(config_.mode, reply_scratch_, &verifier_, config_.read_threshold);
+}
+
+void InstantCluster::read_repair_into(ReadResult& result,
+                                      VariableId variable) {
+  read_into(result, variable);
+  if (!result.selection.has_value) return;
+  const crypto::SignedRecord& best = result.selection.record;
+  // O(r^2) scan over the reply scratch, like select_masking: quorums are
+  // O(sqrt n) so this stays cheap and allocation-free.
+  for (const auto u : result.quorum) {
+    bool fresh = false;
+    for (const ReadReply& reply : reply_scratch_) {
+      if (reply.server == u) {
+        fresh = reply.has_value && reply.record.timestamp >= best.timestamp;
+        break;
+      }
+    }
+    if (fresh) continue;
+    servers_[u]->apply_write(WriteRequest{0, best});
+    ++result.repairs;
+  }
+}
+
+stats::ContentionSnapshot InstantCluster::contention_snapshot() const {
+  return snapshot_counters(servers_);
 }
 
 }  // namespace pqs::replica

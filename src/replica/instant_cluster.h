@@ -19,6 +19,7 @@
 #include "replica/fault.h"
 #include "replica/read_rules.h"
 #include "replica/server.h"
+#include "stats/counters.h"
 
 namespace pqs::replica {
 
@@ -32,6 +33,8 @@ struct ReadResult {
   quorum::Quorum quorum;
   std::uint32_t replies = 0;  // servers that answered at all
   ReadSelection selection;
+  // Repair write-backs pushed by read_repair_into (0 on plain reads).
+  std::uint32_t repairs = 0;
 };
 
 class InstantCluster {
@@ -77,6 +80,19 @@ class InstantCluster {
   void write_as_into(WriteResult& result, std::uint32_t writer,
                      VariableId variable, std::int64_t value);
   void read_into(ReadResult& result, VariableId variable);
+
+  // Read with read-repair: performs read_into, then — when a value was
+  // selected — pushes the winning record back to every read-quorum server
+  // whose reply was missing or carried an older timestamp (one direct
+  // apply_write per such server; non-answering servers still cost a repair
+  // message). result.repairs counts the write-backs. Repair consumes no
+  // rng draws, so quorum streams are identical with repair on or off and
+  // across draw paths — only server state (and future reads) change.
+  void read_repair_into(ReadResult& result, VariableId variable);
+
+  // Per-server protocol counters as one cluster-level snapshot (the
+  // observability face of the multi-writer contention experiments).
+  stats::ContentionSnapshot contention_snapshot() const;
 
   Server& server(std::uint32_t id) { return *servers_.at(id); }
   const Server& server(std::uint32_t id) const { return *servers_.at(id); }

@@ -147,6 +147,15 @@ std::vector<crypto::SignedRecord> Server::snapshot() const {
   return out;
 }
 
+stats::ContentionSnapshot snapshot_counters(
+    const std::vector<std::unique_ptr<Server>>& servers) {
+  stats::ContentionSnapshot snap(static_cast<std::uint32_t>(servers.size()));
+  for (std::uint32_t u = 0; u < servers.size(); ++u) {
+    snap.server(u) = servers[u]->counters();
+  }
+  return snap;
+}
+
 std::vector<crypto::SignedRecord> Server::gossip_records() {
   switch (mode_) {
     case FaultMode::kCorrect:

@@ -19,6 +19,7 @@
 #include "math/rng.h"
 #include "replica/fault.h"
 #include "replica/message.h"
+#include "stats/counters.h"
 
 namespace pqs::replica {
 
@@ -86,6 +87,12 @@ class Server {
   // multi-writer timestamp conflicts (depends on which quorums the
   // contending writes actually landed on).
   std::uint64_t writes_superseded() const { return writes_superseded_; }
+  // The counters above as one stats-layer value, so cluster snapshots
+  // (InstantCluster/SimCluster::contention_snapshot) aggregate without
+  // reaching into individual accessors.
+  stats::ServerCounters counters() const {
+    return {writes_accepted_, reads_served_, writes_superseded_};
+  }
 
  private:
   void handle_write(std::uint32_t from, const WriteRequest& w,
@@ -105,5 +112,11 @@ class Server {
   std::uint64_t reads_served_ = 0;
   std::uint64_t writes_superseded_ = 0;
 };
+
+// One counters() entry per server, as a cluster-level snapshot — the
+// shared body of InstantCluster/SimCluster::contention_snapshot (stats
+// cannot depend on replica, so the aggregation lives here).
+stats::ContentionSnapshot snapshot_counters(
+    const std::vector<std::unique_ptr<Server>>& servers);
 
 }  // namespace pqs::replica

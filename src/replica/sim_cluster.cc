@@ -116,4 +116,8 @@ ReadOutcome SimCluster::read_sync(VariableId variable,
   return *result;
 }
 
+stats::ContentionSnapshot SimCluster::contention_snapshot() const {
+  return snapshot_counters(servers_);
+}
+
 }  // namespace pqs::replica

@@ -19,6 +19,7 @@
 #include "replica/server.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "stats/counters.h"
 
 namespace pqs::replica {
 
@@ -65,6 +66,12 @@ class SimCluster {
   void start_gossip(sim::Time period, std::uint32_t fanout);
 
   std::uint64_t gossip_rounds() const { return gossip_rounds_; }
+
+  // Per-server protocol counters as one cluster-level snapshot — the same
+  // observability face as InstantCluster::contention_snapshot, so
+  // experiments can diff contention between the instant and
+  // message-passing deployments.
+  stats::ContentionSnapshot contention_snapshot() const;
 
  private:
   void gossip_tick();

@@ -26,47 +26,57 @@
 
 namespace pqs::simd {
 
-// The fixed-point description of one Bernoulli(p) digit-compare stream
-// (math::BernoulliBlockSampler exports its precomputed constants here).
+/// The fixed-point description of one Bernoulli(p) digit-compare stream
+/// (math::BernoulliBlockSampler exports its precomputed constants here).
 struct BernoulliSpec {
-  std::uint64_t threshold = 0;  // floor(p * 2^64)
-  double tail = 0.0;            // p * 2^64 - threshold, in [0, 1)
-  int stop_level = 0;           // lowest digit of p that can still decide
-  bool invert = false;          // write ~block (alive masks from dead p)
+  std::uint64_t threshold = 0;  ///< floor(p * 2^64)
+  double tail = 0.0;            ///< p * 2^64 - threshold, in [0, 1)
+  int stop_level = 0;           ///< lowest digit of p that can still decide
+  bool invert = false;          ///< write ~block (alive masks from dead p)
 };
 
-// One kernel table. All word buffers are uint64_t spans; `n` counts words.
-// Prefix/from variants take *bit* bounds and handle the partial word
-// internally (buffers must span ceil(bound/64) words at least).
+/// One kernel table. All word buffers are `uint64_t` spans; `n` counts
+/// words. Prefix/from variants take *bit* bounds and handle the partial
+/// word internally (buffers must span ceil(bound/64) words at least).
+/// Every entry is a pure function of its operands (bernoulli_fill of
+/// `(spec, seed)`), bit-identical to the scalar reference on every ISA.
 struct Kernels {
-  const char* name;  // "scalar" | "avx2" | "avx512"
+  const char* name;  ///< "scalar" | "avx2" | "avx512"
 
+  /// Number of set bits in `a[0..n)`.
   std::uint32_t (*popcount)(const std::uint64_t* a, std::size_t n);
+  /// Number of set bits in `a & b` over `n` words.
   std::uint32_t (*and_popcount)(const std::uint64_t* a, const std::uint64_t* b,
                                 std::size_t n);
-  // Bits of a (resp. a & b) with bit index < nbits.
+  /// Bits of `a` with bit index < `nbits`.
   std::uint32_t (*popcount_prefix)(const std::uint64_t* a, std::uint32_t nbits);
+  /// Bits of `a & b` with bit index < `nbits`.
   std::uint32_t (*and_popcount_prefix)(const std::uint64_t* a,
                                        const std::uint64_t* b,
                                        std::uint32_t nbits);
-  // Bits of a & b with bit index >= lo_bits, within an n-word buffer (the
-  // "correct servers in both quorums" count: overlap outside the Byzantine
-  // prefix {0..lo_bits-1}).
+  /// Bits of `a & b` with bit index >= `lo_bits`, within an n-word buffer
+  /// (the "correct servers in both quorums" count: overlap outside the
+  /// Byzantine prefix {0..lo_bits-1}).
   std::uint32_t (*and_popcount_from)(const std::uint64_t* a,
                                      const std::uint64_t* b, std::size_t n,
                                      std::uint32_t lo_bits);
+  /// True iff `a & b` has any set bit.
   bool (*and_any)(const std::uint64_t* a, const std::uint64_t* b,
                   std::size_t n);
-  // True iff a & ~b has any set bit (drives contains_all).
+  /// True iff `a & ~b` has any set bit (drives contains_all).
   bool (*andnot_any)(const std::uint64_t* a, const std::uint64_t* b,
                      std::size_t n);
+  /// True iff `a` and `b` hold identical words.
   bool (*equal)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+  /// `dst |= src`, word by word (set union).
   void (*or_accum)(std::uint64_t* dst, const std::uint64_t* src,
                    std::size_t n);
 
-  // Strided batch forms: item i reads a_base + i*stride (and b_base +
-  // i*stride), each an n-word mask; one call covers a whole sample_masks
-  // chunk laid out flat (quorum::MaskBatch). out[i] receives item i's count.
+  /// \name Strided batch forms
+  /// Item i reads `a_base + i*stride` (and `b_base + i*stride`), each an
+  /// n-word mask; one call covers a whole sample_masks chunk laid out flat
+  /// (quorum::MaskBatch). `out[i]` receives item i's count.
+  /// @{
   void (*batch_and_popcount_from)(const std::uint64_t* a_base,
                                   const std::uint64_t* b_base,
                                   std::size_t stride, std::size_t count,
@@ -75,13 +85,34 @@ struct Kernels {
   void (*batch_popcount_prefix)(const std::uint64_t* a_base,
                                 std::size_t stride, std::size_t count,
                                 std::uint32_t nbits, std::uint32_t* out);
+  /// @}
 
-  // Fills dst[0..n) with Bernoulli(p) blocks (bit j of dst[i] = trial
-  // 64*i+j). The draw stream is defined by the scalar reference in
-  // kernels_common.h: sixteen SplitMix64 lane streams expanded from `seed`,
-  // lanes advanced most-significant-digit-first exactly as
-  // BernoulliBlockSampler::draw_block advances its digits. Pure in
-  // (spec, seed); bit-identical across ISAs.
+  /// \name Column accumulation (per-bit hit histograms)
+  /// Tallies mask membership into a histogram laid out word-major:
+  /// `counts[64*w + b] += bit b of word w` for every word `w < n`, i.e.
+  /// `counts[u]` gains one per mask containing server u. `counts` must
+  /// span `64*n` entries and is accumulated into, never overwritten — the
+  /// load estimator folds many batches into one shard histogram. The
+  /// strided batch form tallies `count` masks (item i at
+  /// `a_base + i*stride`) in one sweep, which lets implementations keep a
+  /// word's 64 counters in registers across the whole batch. Sums are
+  /// exact integers, so every ISA and accumulation order is bit-identical
+  /// to the scalar reference (a per-bit ctz walk — the loop
+  /// estimate_server_loads ran before this kernel existed).
+  /// @{
+  void (*column_accumulate)(const std::uint64_t* a, std::size_t n,
+                            std::uint64_t* counts);
+  void (*batch_column_accumulate)(const std::uint64_t* a_base,
+                                  std::size_t stride, std::size_t count,
+                                  std::size_t n, std::uint64_t* counts);
+  /// @}
+
+  /// Fills `dst[0..n)` with Bernoulli(p) blocks (bit j of dst[i] = trial
+  /// 64*i+j). The draw stream is defined by the scalar reference in
+  /// kernels_common.h: sixteen SplitMix64 lane streams expanded from
+  /// `seed`, lanes advanced most-significant-digit-first exactly as
+  /// BernoulliBlockSampler::draw_block advances its digits. Pure in
+  /// (spec, seed); bit-identical across ISAs.
   void (*bernoulli_fill)(std::uint64_t* dst, std::size_t n,
                          const BernoulliSpec& spec, std::uint64_t seed);
 };

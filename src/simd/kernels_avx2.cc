@@ -174,6 +174,66 @@ void batch_popcount_prefix_avx2(const std::uint64_t* a_base,
                              popcount_prefix_avx2);
 }
 
+// ---- column accumulation --------------------------------------------------
+
+// Expands the 32 bits of one half-word into 32 bytes of 0x00/0xFF (byte p =
+// bit p). set1_epi32 repeats the half-word's four bytes through every
+// 32-bit lane; the shuffle replicates source byte p/8 into output byte p,
+// and the AND/cmpeq against the bit-select pattern isolates bit p%8.
+inline __m256i expand_bits32(std::uint32_t half) {
+  const __m256i sel =
+      _mm256_setr_epi8(0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2,
+                       2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+  const __m256i bits =
+      _mm256_setr_epi8(1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64,
+                       -128, 1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32,
+                       64, -128);
+  const __m256i v = _mm256_shuffle_epi8(
+      _mm256_set1_epi32(static_cast<int>(half)), sel);
+  return _mm256_cmpeq_epi8(_mm256_and_si256(v, bits), bits);
+}
+
+void batch_column_accumulate_avx2(const std::uint64_t* a_base,
+                                  std::size_t stride, std::size_t count,
+                                  std::size_t n, std::uint64_t* counts) {
+  // Word-major: a word position's 64 counters live in two byte-lane
+  // registers while every mask in the batch streams past (0xFF compare
+  // masks subtract as +1), then drain into the uint64 histogram. Chunked
+  // at 255 masks so a byte counter can never saturate.
+  for (std::size_t wj = 0; wj < n; ++wj) {
+    std::uint64_t* c = counts + 64 * wj;
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t chunk =
+          count - done < 255 ? count - done : std::size_t{255};
+      __m256i acc_lo = _mm256_setzero_si256();
+      __m256i acc_hi = _mm256_setzero_si256();
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const std::uint64_t w = a_base[(done + i) * stride + wj];
+        acc_lo = _mm256_sub_epi8(
+            acc_lo, expand_bits32(static_cast<std::uint32_t>(w)));
+        acc_hi = _mm256_sub_epi8(
+            acc_hi, expand_bits32(static_cast<std::uint32_t>(w >> 32)));
+      }
+      alignas(32) std::uint8_t bytes[64];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(bytes), acc_lo);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(bytes + 32), acc_hi);
+      for (int b = 0; b < 64; ++b) c[b] += bytes[b];
+      done += chunk;
+    }
+  }
+}
+
+// Single-mask form: the batch kernel at count 1. TU-local on purpose —
+// pointing this slot at the header's scalar walk would emit an ODR-merged
+// comdat copy of it from a TU compiled with -mavx2, which the linker
+// could then hand to the *scalar* table (kernels_common.h forbids exactly
+// that cross-ISA linkage).
+void column_accumulate_avx2(const std::uint64_t* a, std::size_t n,
+                            std::uint64_t* counts) {
+  batch_column_accumulate_avx2(a, n, 1, n, counts);
+}
+
 // ---- Bernoulli fill -------------------------------------------------------
 
 // 64x64 -> low 64 multiply over 32-bit lanes (AVX2 has no vpmullq).
@@ -295,6 +355,8 @@ constexpr Kernels kAvx2Table = {
     &or_accum_avx2,
     &batch_and_popcount_from_avx2,
     &batch_popcount_prefix_avx2,
+    &column_accumulate_avx2,
+    &batch_column_accumulate_avx2,
     &bernoulli_fill_avx2,
 };
 

@@ -154,6 +154,45 @@ void batch_popcount_prefix_avx512(const std::uint64_t* a_base,
                              popcount_prefix_avx512);
 }
 
+// ---- column accumulation --------------------------------------------------
+
+void batch_column_accumulate_avx512(const std::uint64_t* a_base,
+                                    std::size_t stride, std::size_t count,
+                                    std::size_t n, std::uint64_t* counts) {
+  // A mask word *is* a __mmask64: one predicated byte-subtract of -1
+  // increments exactly the counters whose bit is set — one instruction per
+  // mask per word position. Word-major so the 64 byte counters stay in a
+  // single zmm across the batch; chunked at 255 masks so they cannot
+  // saturate, then drained into the uint64 histogram.
+  const __m512i neg1 = _mm512_set1_epi8(-1);
+  for (std::size_t wj = 0; wj < n; ++wj) {
+    std::uint64_t* c = counts + 64 * wj;
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t chunk =
+          count - done < 255 ? count - done : std::size_t{255};
+      __m512i acc = _mm512_setzero_si512();
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const __mmask64 m = _cvtu64_mask64(a_base[(done + i) * stride + wj]);
+        acc = _mm512_mask_sub_epi8(acc, m, acc, neg1);
+      }
+      alignas(64) std::uint8_t bytes[64];
+      _mm512_store_si512(bytes, acc);
+      for (int b = 0; b < 64; ++b) c[b] += bytes[b];
+      done += chunk;
+    }
+  }
+}
+
+// Single-mask form: the batch kernel at count 1. TU-local for the same
+// ODR reason as the AVX2 table — this TU must not emit (and possibly
+// donate to the linker) a copy of the header's scalar walk compiled with
+// -mavx512* flags.
+void column_accumulate_avx512(const std::uint64_t* a, std::size_t n,
+                              std::uint64_t* counts) {
+  batch_column_accumulate_avx512(a, n, 1, n, counts);
+}
+
 // SplitMix64 output mix over 256-bit lanes with the native 64-bit multiply
 // (AVX-512VL+DQ vpmullq). The fill deliberately runs 4x256-bit chains
 // rather than 2x512: the digit loop is latency-bound on the
@@ -261,6 +300,8 @@ constexpr Kernels kAvx512Table = {
     &or_accum_avx512,
     &batch_and_popcount_from_avx512,
     &batch_popcount_prefix_avx512,
+    &column_accumulate_avx512,
+    &batch_column_accumulate_avx512,
     &bernoulli_fill_avx512,
 };
 

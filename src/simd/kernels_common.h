@@ -95,6 +95,32 @@ inline void or_accum_scalar(std::uint64_t* dst, const std::uint64_t* src,
   for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
 }
 
+// The column-accumulate scalar reference: a per-bit ctz walk, exactly the
+// loop estimate_server_loads ran before the kernel existed. The output is
+// an exact integer sum, so vector implementations are free to reorder the
+// additions (vertical byte counters, register-resident accumulators) and
+// still match bit for bit.
+inline void column_accumulate_scalar(const std::uint64_t* a, std::size_t n,
+                                     std::uint64_t* counts) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t w = a[i];
+    std::uint64_t* c = counts + 64 * i;
+    while (w != 0) {
+      c[static_cast<std::uint32_t>(__builtin_ctzll(w))] += 1;
+      w &= w - 1;
+    }
+  }
+}
+
+inline void batch_column_accumulate_scalar(const std::uint64_t* a_base,
+                                           std::size_t stride,
+                                           std::size_t count, std::size_t n,
+                                           std::uint64_t* counts) {
+  for (std::size_t i = 0; i < count; ++i) {
+    column_accumulate_scalar(a_base + i * stride, n, counts);
+  }
+}
+
 // ---- Bernoulli digit-compare stream ---------------------------------------
 //
 // The fill stream: `seed` (one word of the caller's generator) expands

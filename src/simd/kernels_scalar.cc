@@ -61,6 +61,8 @@ constexpr Kernels kScalarTable = {
     &or_accum_scalar,
     &batch_and_popcount_from_impl,
     &batch_popcount_prefix_impl,
+    &column_accumulate_scalar,
+    &batch_column_accumulate_scalar,
     &bernoulli_fill_scalar,
 };
 

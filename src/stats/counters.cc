@@ -1,0 +1,34 @@
+#include "stats/counters.h"
+
+#include "util/require.h"
+
+namespace pqs::stats {
+
+ServerCounters ContentionSnapshot::totals() const {
+  ServerCounters total;
+  for (const ServerCounters& c : per_server_) total += c;
+  return total;
+}
+
+double ContentionSnapshot::superseded_rate() const {
+  const ServerCounters total = totals();
+  return total.writes_accepted == 0
+             ? 0.0
+             : static_cast<double>(total.writes_superseded) /
+                   static_cast<double>(total.writes_accepted);
+}
+
+void ContentionSnapshot::merge(const ContentionSnapshot& other) {
+  if (per_server_.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.per_server_.empty()) return;
+  PQS_REQUIRE(per_server_.size() == other.per_server_.size(),
+              "contention snapshot universe mismatch");
+  for (std::size_t u = 0; u < per_server_.size(); ++u) {
+    per_server_[u] += other.per_server_[u];
+  }
+}
+
+}  // namespace pqs::stats

@@ -1,0 +1,75 @@
+// Cluster-level contention observability.
+//
+// replica::Server counts what the protocol does to it — writes accepted,
+// reads served, and writes it acknowledged but did not adopt because a
+// higher-timestamped record was already installed (writes_superseded, the
+// server-side trace of multi-writer contention). Those counters used to be
+// visible only one server at a time; this layer aggregates them into
+// cluster snapshots that merge across bench shards and diff across
+// experiment phases (e.g. read-repair on vs off), without the stats code
+// depending on the replica layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pqs::stats {
+
+/// One server's protocol counters (mirrors replica::Server's accessors).
+struct ServerCounters {
+  std::uint64_t writes_accepted = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t writes_superseded = 0;
+
+  ServerCounters& operator+=(const ServerCounters& o) {
+    writes_accepted += o.writes_accepted;
+    reads_served += o.reads_served;
+    writes_superseded += o.writes_superseded;
+    return *this;
+  }
+  bool operator==(const ServerCounters& o) const {
+    return writes_accepted == o.writes_accepted &&
+           reads_served == o.reads_served &&
+           writes_superseded == o.writes_superseded;
+  }
+};
+
+/// Per-server counters for one cluster (or, after merge(), the elementwise
+/// sum over many same-shaped clusters — bench shards are iid replicas, so
+/// summing by server id is the natural fold).
+class ContentionSnapshot {
+ public:
+  ContentionSnapshot() = default;
+  explicit ContentionSnapshot(std::uint32_t universe_size)
+      : per_server_(universe_size) {}
+
+  std::uint32_t universe_size() const {
+    return static_cast<std::uint32_t>(per_server_.size());
+  }
+  ServerCounters& server(std::uint32_t u) { return per_server_.at(u); }
+  const ServerCounters& server(std::uint32_t u) const {
+    return per_server_.at(u);
+  }
+  const std::vector<ServerCounters>& per_server() const {
+    return per_server_;
+  }
+
+  /// Sum over every server.
+  ServerCounters totals() const;
+  /// superseded / writes accepted — the fraction of write deliveries that
+  /// lost the timestamp race at the server (0 when no writes landed).
+  double superseded_rate() const;
+
+  /// Elementwise accumulation (universes must match; an empty snapshot
+  /// adopts the other's shape).
+  void merge(const ContentionSnapshot& other);
+
+  bool operator==(const ContentionSnapshot& other) const {
+    return per_server_ == other.per_server_;
+  }
+
+ private:
+  std::vector<ServerCounters> per_server_;
+};
+
+}  // namespace pqs::stats

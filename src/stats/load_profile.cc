@@ -1,0 +1,75 @@
+#include "stats/load_profile.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace pqs::stats {
+
+LoadProfile::LoadProfile(std::vector<std::uint64_t> hits,
+                         std::uint64_t samples)
+    : hits_(std::move(hits)), samples_(samples) {}
+
+double LoadProfile::load(std::uint32_t u) const {
+  PQS_REQUIRE(u < hits_.size(), "server id");
+  return samples_ == 0 ? 0.0
+                       : static_cast<double>(hits_[u]) /
+                             static_cast<double>(samples_);
+}
+
+std::vector<double> LoadProfile::loads() const {
+  std::vector<double> out(hits_.size());
+  for (std::uint32_t u = 0; u < hits_.size(); ++u) out[u] = load(u);
+  return out;
+}
+
+double LoadProfile::max_load() const {
+  std::uint64_t best = 0;
+  for (const std::uint64_t h : hits_) best = std::max(best, h);
+  return samples_ == 0 ? 0.0
+                       : static_cast<double>(best) /
+                             static_cast<double>(samples_);
+}
+
+double LoadProfile::mean_load() const {
+  if (samples_ == 0 || hits_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t h : hits_) total += h;
+  return static_cast<double>(total) /
+         (static_cast<double>(samples_) * static_cast<double>(hits_.size()));
+}
+
+double LoadProfile::imbalance() const {
+  const double mean = mean_load();
+  return mean == 0.0 ? 0.0 : max_load() / mean;
+}
+
+std::vector<HotServer> LoadProfile::hottest(std::size_t k) const {
+  std::vector<HotServer> all;
+  all.reserve(hits_.size());
+  for (std::uint32_t u = 0; u < hits_.size(); ++u) {
+    all.push_back(HotServer{u, hits_[u], load(u)});
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const HotServer& a, const HotServer& b) {
+                      return a.hits != b.hits ? a.hits > b.hits
+                                              : a.server < b.server;
+                    });
+  all.resize(take);
+  return all;
+}
+
+void LoadProfile::merge(const LoadProfile& other) {
+  if (hits_.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.hits_.empty()) return;
+  PQS_REQUIRE(hits_.size() == other.hits_.size(),
+              "load profile universe mismatch");
+  for (std::size_t u = 0; u < hits_.size(); ++u) hits_[u] += other.hits_[u];
+  samples_ += other.samples_;
+}
+
+}  // namespace pqs::stats

@@ -1,0 +1,68 @@
+// Per-server load observability.
+//
+// The paper's load L_w (Definition 2.4) is the *maximum* per-server access
+// probability, but a deployment cares about the whole shape: how far the
+// hottest server sits above the mean (imbalance), and which servers carry
+// the heat. LoadProfile keeps the raw per-server hit counts — exact
+// integers, so profiles merge across estimator shards and bench cluster
+// shards without losing bit-identity — and derives the shape measures on
+// demand. Produced by core::estimate_load_profile (Monte-Carlo draws over
+// an access strategy) and by the protocol bench (measured server contacts
+// under a live workload); consumed by reports and the closed-form
+// conformance tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pqs::stats {
+
+/// One entry of LoadProfile::hottest(): a server and its estimated load.
+struct HotServer {
+  std::uint32_t server = 0;
+  std::uint64_t hits = 0;
+  double load = 0.0;  ///< hits / samples
+};
+
+/// Per-server hit counts over a known number of access draws.
+class LoadProfile {
+ public:
+  LoadProfile() = default;
+  /// `hits[u]` = accesses that touched server u over `samples` draws.
+  LoadProfile(std::vector<std::uint64_t> hits, std::uint64_t samples);
+
+  std::uint32_t universe_size() const {
+    return static_cast<std::uint32_t>(hits_.size());
+  }
+  std::uint64_t samples() const { return samples_; }
+  const std::vector<std::uint64_t>& hits() const { return hits_; }
+
+  /// Estimated l_w(u): fraction of draws touching server u.
+  double load(std::uint32_t u) const;
+  /// All per-server loads (the estimate_server_loads shape).
+  std::vector<double> loads() const;
+
+  /// max_u l_w(u) — the induced load L_w.
+  double max_load() const;
+  /// Mean per-server load = E|Q| / n (total hits / (n * samples)).
+  double mean_load() const;
+  /// max / mean: 1.0 is perfectly balanced, higher means hot spots.
+  /// 0 when there are no hits at all.
+  double imbalance() const;
+  /// The k hottest servers, descending by hits (ties broken by lower id).
+  std::vector<HotServer> hottest(std::size_t k) const;
+
+  /// Elementwise accumulation: hit counts add, sample counts add.
+  /// Universe sizes must match (an empty profile adopts the other's).
+  void merge(const LoadProfile& other);
+
+  bool operator==(const LoadProfile& other) const {
+    return samples_ == other.samples_ && hits_ == other.hits_;
+  }
+
+ private:
+  std::vector<std::uint64_t> hits_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace pqs::stats

@@ -1,0 +1,294 @@
+// The load/contention observability layer.
+//
+// Three contracts:
+//   * estimate_load_profile (the column-accumulate kernel path) is
+//     bit-identical to the pre-kernel per-bit walk — same draws, same hit
+//     counts — at 1, 2, and 8 threads, and the estimate_server_loads /
+//     estimate_load wrappers are pure views of the profile;
+//   * measured profiles of the symmetric constructions match the
+//     closed-form per-server loads in quorum/measures.h (grid) and the
+//     per-row wall formula;
+//   * ContentionSnapshot aggregates replica::Server counters faithfully,
+//     and InstantCluster::read_repair_into pushes the selected record to
+//     exactly the stale quorum members.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/monte_carlo.h"
+#include "core/random_subset_system.h"
+#include "math/rng.h"
+#include "quorum/bitset.h"
+#include "quorum/grid.h"
+#include "quorum/measures.h"
+#include "quorum/threshold.h"
+#include "quorum/wall.h"
+#include "replica/instant_cluster.h"
+#include "stats/counters.h"
+#include "stats/load_profile.h"
+
+namespace pqs {
+namespace {
+
+// ---- LoadProfile accessors -------------------------------------------------
+
+TEST(LoadProfile, DerivesShapeMeasuresFromHitCounts) {
+  const stats::LoadProfile p({8, 2, 0, 6}, 10);
+  EXPECT_EQ(p.universe_size(), 4u);
+  EXPECT_EQ(p.samples(), 10u);
+  EXPECT_DOUBLE_EQ(p.load(0), 0.8);
+  EXPECT_DOUBLE_EQ(p.load(2), 0.0);
+  EXPECT_DOUBLE_EQ(p.max_load(), 0.8);
+  // 16 hits over 4 servers x 10 samples.
+  EXPECT_DOUBLE_EQ(p.mean_load(), 0.4);
+  EXPECT_DOUBLE_EQ(p.imbalance(), 2.0);
+  const auto top = p.hottest(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].server, 0u);
+  EXPECT_EQ(top[0].hits, 8u);
+  EXPECT_DOUBLE_EQ(top[0].load, 0.8);
+  EXPECT_EQ(top[1].server, 3u);
+  // Asking for more entries than servers returns them all.
+  EXPECT_EQ(p.hottest(10).size(), 4u);
+}
+
+TEST(LoadProfile, HottestBreaksTiesByLowerId) {
+  const stats::LoadProfile p({3, 5, 5, 1}, 10);
+  const auto top = p.hottest(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].server, 1u);
+  EXPECT_EQ(top[1].server, 2u);
+  EXPECT_EQ(top[2].server, 0u);
+}
+
+TEST(LoadProfile, MergeAddsHitsAndSamples) {
+  stats::LoadProfile acc;
+  acc.merge(stats::LoadProfile({1, 2}, 4));
+  acc.merge(stats::LoadProfile({3, 0}, 6));
+  EXPECT_EQ(acc.hits(), (std::vector<std::uint64_t>{4, 2}));
+  EXPECT_EQ(acc.samples(), 10u);
+  EXPECT_DOUBLE_EQ(acc.load(0), 0.4);
+}
+
+TEST(LoadProfile, EmptyProfileIsInert) {
+  const stats::LoadProfile p;
+  EXPECT_DOUBLE_EQ(p.max_load(), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean_load(), 0.0);
+  EXPECT_DOUBLE_EQ(p.imbalance(), 0.0);
+  EXPECT_TRUE(p.hottest(3).empty());
+}
+
+// ---- kernel path vs the pre-kernel bit walk --------------------------------
+
+// The shard body estimate_server_loads ran before the column-accumulate
+// kernel existed: one sample_mask per draw, hits counted by walking set
+// bits. sample_masks consumes the rng exactly like successive sample_mask
+// calls, so for any fixed seed the kernelized estimator must reproduce
+// these counts bit for bit.
+std::vector<std::uint64_t> bitwalk_hits(const quorum::QuorumSystem& sys,
+                                        std::uint64_t samples, math::Rng& rng,
+                                        core::Estimator& engine) {
+  const std::uint32_t n = sys.universe_size();
+  return engine.run_trials<std::vector<std::uint64_t>>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        std::vector<std::uint64_t> hits(n, 0);
+        quorum::QuorumBitset mask(n);
+        for (std::uint64_t s = 0; s < shard_samples; ++s) {
+          sys.sample_mask(mask, shard_rng);
+          mask.for_each_set_bit([&hits](quorum::ServerId u) { ++hits[u]; });
+        }
+        return hits;
+      },
+      [n](std::vector<std::uint64_t>& acc,
+          const std::vector<std::uint64_t>& part) {
+        acc.resize(n, 0);
+        for (std::uint32_t u = 0; u < n; ++u) acc[u] += part[u];
+      });
+}
+
+TEST(EstimateLoadProfile, BitIdenticalToPreKernelWalkAcrossThreadCounts) {
+  constexpr std::uint64_t kSamples = 20000;
+  constexpr std::uint64_t kSeed = 0x10adbeef;
+  const core::RandomSubsetSystem subset(150, 40);
+  const auto grid = quorum::GridSystem::square(100);
+  const quorum::ThresholdSystem threshold(100, 51);
+  const quorum::QuorumSystem* systems[] = {&subset, &grid, &threshold};
+  for (const quorum::QuorumSystem* sys : systems) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      core::Estimator engine({threads});
+      math::Rng rng_walk(kSeed), rng_kernel(kSeed);
+      const auto walk = bitwalk_hits(*sys, kSamples, rng_walk, engine);
+      const auto profile =
+          core::estimate_load_profile(*sys, kSamples, rng_kernel, engine);
+      EXPECT_EQ(profile.hits(), walk)
+          << sys->name() << " at " << threads << " threads";
+      EXPECT_EQ(profile.samples(), kSamples);
+    }
+  }
+}
+
+TEST(EstimateLoadProfile, WrappersAreViewsOfTheProfile) {
+  constexpr std::uint64_t kSamples = 5000;
+  const quorum::ThresholdSystem sys(64, 33);
+  core::Estimator engine({2});
+  math::Rng rng_profile(42), rng_loads(42), rng_load(42);
+  const auto profile =
+      core::estimate_load_profile(sys, kSamples, rng_profile, engine);
+  EXPECT_EQ(core::estimate_server_loads(sys, kSamples, rng_loads, engine),
+            profile.loads());
+  EXPECT_DOUBLE_EQ(core::estimate_load(sys, kSamples, rng_load, engine),
+                   profile.max_load());
+  // All three consumed the caller generator identically (one fork each).
+  EXPECT_EQ(rng_profile.next(), rng_loads.next());
+}
+
+// ---- closed-form conformance -----------------------------------------------
+
+TEST(EstimateLoadProfile, GridMatchesClosedFormPerServerLoad) {
+  constexpr std::uint64_t kSamples = 40000;
+  const quorum::GridSystem sys(8, 8, 1);
+  core::Estimator engine({2});
+  math::Rng rng(7);
+  const auto profile = core::estimate_load_profile(sys, kSamples, rng, engine);
+  const double expected = quorum::grid_server_load(8, 8, 1);
+  EXPECT_DOUBLE_EQ(expected, sys.load());
+  // ~5 sigma of a Bernoulli(0.23) estimate at 40k samples is ~0.011.
+  for (std::uint32_t u = 0; u < sys.universe_size(); ++u) {
+    EXPECT_NEAR(profile.load(u), expected, 0.02) << "server " << u;
+  }
+  // Every server symmetric: the profile must come out nearly flat.
+  EXPECT_NEAR(profile.mean_load(), expected, 0.005);
+  EXPECT_LT(profile.imbalance(), 1.1);
+}
+
+TEST(EstimateLoadProfile, WallMatchesClosedFormPerRowLoad) {
+  constexpr std::uint64_t kSamples = 40000;
+  const auto sys = quorum::WallSystem::uniform(4, 6);  // 4 rows of width 6
+  core::Estimator engine({2});
+  math::Rng rng(8);
+  const auto profile = core::estimate_load_profile(sys, kSamples, rng, engine);
+  double expected_max = 0.0;
+  for (std::uint32_t row = 0; row < 4; ++row) {
+    const double expected = quorum::wall_server_load(sys.widths(), row);
+    expected_max = std::max(expected_max, expected);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(profile.load(row * 6 + i), expected, 0.02)
+          << "row " << row << " slot " << i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(expected_max, sys.load());
+  EXPECT_NEAR(profile.max_load(), sys.load(), 0.02);
+  // The bottom row carries the most representative duty: it must surface
+  // in the hot list.
+  const auto top = profile.hottest(6);
+  ASSERT_EQ(top.size(), 6u);
+  for (const auto& hot : top) {
+    EXPECT_GE(hot.server, 18u) << "hot server outside the bottom row";
+  }
+}
+
+// ---- contention snapshots --------------------------------------------------
+
+std::shared_ptr<const quorum::QuorumSystem> small_threshold() {
+  return std::make_shared<quorum::ThresholdSystem>(5, 3);
+}
+
+TEST(ContentionSnapshot, MirrorsServerCountersAndAggregates) {
+  replica::InstantCluster::Config cfg;
+  cfg.quorums = small_threshold();
+  cfg.seed = 99;
+  replica::InstantCluster cluster(cfg);
+  // Two writers race on one key. Writer 2 goes first each round, so
+  // writer 1's same-sequence write carries the lower timestamp
+  // ((s << 16) | 1 < (s << 16) | 2) and majority overlap guarantees at
+  // least one server per round holds the newer record already — a
+  // superseded delivery.
+  for (std::int64_t i = 0; i < 50; ++i) {
+    cluster.write_as(2, 7, 100 + i);
+    cluster.write_as(1, 7, i);
+    cluster.read(7);
+  }
+  const stats::ContentionSnapshot snap = cluster.contention_snapshot();
+  ASSERT_EQ(snap.universe_size(), 5u);
+  stats::ServerCounters manual_total;
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    const replica::Server& server = cluster.server(u);
+    EXPECT_EQ(snap.server(u).writes_accepted, server.writes_accepted());
+    EXPECT_EQ(snap.server(u).reads_served, server.reads_served());
+    EXPECT_EQ(snap.server(u).writes_superseded, server.writes_superseded());
+    manual_total += snap.server(u);
+  }
+  const stats::ServerCounters totals = snap.totals();
+  EXPECT_EQ(totals, manual_total);
+  EXPECT_EQ(totals.writes_accepted, 300u);  // 100 writes x 3-server quorums
+  EXPECT_EQ(totals.reads_served, 150u);
+  EXPECT_GT(totals.writes_superseded, 0u);
+  EXPECT_GT(snap.superseded_rate(), 0.0);
+  EXPECT_LT(snap.superseded_rate(), 1.0);
+
+  // Shard folding: merging a snapshot into itself doubles every counter.
+  stats::ContentionSnapshot merged = snap;
+  merged.merge(snap);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    EXPECT_EQ(merged.server(u).writes_accepted,
+              2 * snap.server(u).writes_accepted);
+  }
+  stats::ContentionSnapshot empty;
+  empty.merge(snap);
+  EXPECT_TRUE(empty == snap);
+}
+
+// ---- read repair -----------------------------------------------------------
+
+TEST(ReadRepair, PushesSelectedRecordToStaleQuorumMembers) {
+  replica::InstantCluster::Config cfg;
+  cfg.quorums = small_threshold();
+  cfg.seed = 1234;
+  replica::InstantCluster cluster(cfg);
+
+  // A read before any write selects nothing and repairs nothing.
+  replica::ReadResult r;
+  cluster.read_repair_into(r, 7);
+  EXPECT_FALSE(r.selection.has_value);
+  EXPECT_EQ(r.repairs, 0u);
+
+  // Two writes land on (generally) different quorums, leaving some servers
+  // stale. Majority quorums always intersect the second write's quorum, so
+  // every repair'd read selects the newest record.
+  const auto w1 = cluster.write(7, 1);
+  const auto w2 = cluster.write(7, 2);
+  ASSERT_GT(w2.timestamp, w1.timestamp);
+
+  std::uint32_t total_repairs = 0;
+  for (int i = 0; i < 200; ++i) {
+    cluster.read_repair_into(r, 7);
+    ASSERT_TRUE(r.selection.has_value);
+    EXPECT_EQ(r.selection.record.timestamp, w2.timestamp);
+    total_repairs += r.repairs;
+    // Post-condition: every member of this read quorum now stores a record
+    // at least as fresh as what the read returned.
+    for (const auto u : r.quorum) {
+      const auto* rec = cluster.server(u).find(7);
+      ASSERT_NE(rec, nullptr);
+      EXPECT_GE(rec->timestamp, r.selection.record.timestamp);
+    }
+  }
+  EXPECT_GT(total_repairs, 0u);
+  // Repair converges the whole cluster onto the newest record.
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    const auto* rec = cluster.server(u).find(7);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->timestamp, w2.timestamp);
+    EXPECT_EQ(rec->value, 2);
+  }
+  // Once converged, further repair'd reads push nothing.
+  cluster.read_repair_into(r, 7);
+  EXPECT_EQ(r.repairs, 0u);
+}
+
+}  // namespace
+}  // namespace pqs

@@ -120,6 +120,72 @@ TEST_P(KernelEquivalence, BatchOpsMatchPerItemLoops) {
   }
 }
 
+TEST_P(KernelEquivalence, ColumnAccumulateMatchesBruteForce) {
+  const simd::Kernels& k = *GetParam();
+  const simd::Kernels& ref = simd::scalar();
+  math::Rng rng(0xc01a);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = rng.below(12);  // words per mask
+    const auto a = random_words(n, rng);
+    // Accumulation semantics: the kernel adds onto whatever is already in
+    // the histogram, so start from a nonzero base and require both tables
+    // to land on the same totals.
+    std::vector<std::uint64_t> base(64 * n);
+    for (auto& c : base) c = rng.below(1000);
+    auto out_ref = base;
+    auto out_k = base;
+    ref.column_accumulate(a.data(), n, out_ref.data());
+    k.column_accumulate(a.data(), n, out_k.data());
+    EXPECT_EQ(out_ref, out_k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int b = 0; b < 64; ++b) {
+        EXPECT_EQ(out_ref[64 * i + b], base[64 * i + b] + ((a[i] >> b) & 1));
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, BatchColumnAccumulateMatchesPerItemLoops) {
+  const simd::Kernels& k = *GetParam();
+  const simd::Kernels& ref = simd::scalar();
+  math::Rng rng(0xba7c5);
+  for (int iter = 0; iter < 150; ++iter) {
+    const std::size_t n = 1 + rng.below(10);
+    // Both batch layouts in use: contiguous masks (the load estimator)
+    // and the interleaved pair layout.
+    const std::size_t stride = rng.chance(0.5) ? n : 2 * n;
+    const std::size_t count = rng.below(33);
+    const auto flat = random_words(stride * count + n, rng);
+    std::vector<std::uint64_t> base(64 * n);
+    for (auto& c : base) c = rng.below(1000);
+    auto out_ref = base;
+    auto out_k = base;
+    auto out_item = base;
+    ref.batch_column_accumulate(flat.data(), stride, count, n,
+                                out_ref.data());
+    k.batch_column_accumulate(flat.data(), stride, count, n, out_k.data());
+    EXPECT_EQ(out_ref, out_k);
+    for (std::size_t i = 0; i < count; ++i) {
+      ref.column_accumulate(flat.data() + i * stride, n, out_item.data());
+    }
+    EXPECT_EQ(out_ref, out_item);
+  }
+}
+
+TEST_P(KernelEquivalence, BatchColumnAccumulateSurvivesLongDenseBatches) {
+  // 300 all-ones masks would overflow a single-byte vertical counter: the
+  // implementations must chunk. Every counter ends exactly base + 300.
+  const simd::Kernels& k = *GetParam();
+  const std::size_t n = 3;
+  const std::size_t count = 300;
+  std::vector<std::uint64_t> flat(n * count, ~0ULL);
+  std::vector<std::uint64_t> counts(64 * n, 7);
+  k.batch_column_accumulate(flat.data(), n, count, n, counts.data());
+  for (const std::uint64_t c : counts) {
+    ASSERT_EQ(c, 307u);
+  }
+}
+
 TEST_P(KernelEquivalence, BernoulliFillMatchesScalarReference) {
   const simd::Kernels& k = *GetParam();
   const simd::Kernels& ref = simd::scalar();
@@ -314,6 +380,26 @@ TEST(KernelDispatch, EstimatorResultsIdenticalAcrossTablesAndThreads) {
       results.push_back(Key{ni.successes(), ni.trials(), de.successes(),
                             de.trials(), ma.successes(), ma.trials(),
                             fp.successes(), fp.trials()});
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i] == results[0]) << "combination " << i;
+  }
+}
+
+TEST(KernelDispatch, LoadProfileIdenticalAcrossTablesAndThreads) {
+  // The column-accumulate path: per-server hit counts are exact integer
+  // sums, so the whole profile must be bit-identical whichever table
+  // tallies it, at any thread count (150 servers = a padding-bit universe).
+  ActiveTableGuard guard;
+  const core::RandomSubsetSystem sys(150, 40);
+  std::vector<stats::LoadProfile> results;
+  for (const simd::Kernels* table : simd::available()) {
+    simd::force(*table);
+    for (unsigned threads : {1u, 8u}) {
+      core::Estimator engine({threads});
+      math::Rng rng(20260727);
+      results.push_back(core::estimate_load_profile(sys, 20000, rng, engine));
     }
   }
   for (std::size_t i = 1; i < results.size(); ++i) {

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Link checker for the repo's markdown docs.
+
+Validates every inline markdown link and image in the given files:
+
+  * relative file targets must exist (relative to the containing file);
+  * `#fragment` anchors into markdown files (or the same file) must match
+    a heading's GitHub-style slug;
+  * absolute URLs (http/https/mailto) are skipped — CI must not depend on
+    the network, and external link rot is not a build failure.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+Exits nonzero listing every broken link.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp:")
+
+
+def strip_fences(lines):
+    # Fenced lines become empty strings (not dropped) so the enumerate()
+    # in check_file keeps reporting real line numbers.
+    out, fenced = [], False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            out.append("")
+            continue
+        out.append("" if fenced else line)
+    return out
+
+
+def github_slug(heading):
+    # Drop inline code/emphasis markers, lower-case, strip punctuation,
+    # hyphenate spaces — the GitHub anchor algorithm, minus dedup suffixes.
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    slugs = set()
+    lines = strip_fences(path.read_text(encoding="utf-8").splitlines())
+    for line in lines:
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def check_file(md_path):
+    errors = []
+    lines = strip_fences(md_path.read_text(encoding="utf-8").splitlines())
+    for lineno, line in enumerate(lines, 1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = (
+                md_path
+                if not path_part
+                else (md_path.parent / path_part).resolve()
+            )
+            if not dest.exists():
+                errors.append(f"{md_path}:{lineno}: missing target {target}")
+                continue
+            if fragment and dest.suffix.lower() == ".md":
+                if fragment not in anchors_of(dest):
+                    errors.append(
+                        f"{md_path}:{lineno}: no heading for anchor "
+                        f"#{fragment} in {dest.name}"
+                    )
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    all_errors = []
+    checked = 0
+    for arg in sys.argv[1:]:
+        path = Path(arg)
+        if not path.exists():
+            all_errors.append(f"{arg}: file not found")
+            continue
+        checked += 1
+        all_errors.extend(check_file(path))
+    for err in all_errors:
+        print(err)
+    if all_errors:
+        print(f"FAIL: {len(all_errors)} broken links across {checked} files")
+        return 1
+    print(f"OK: links valid in {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
