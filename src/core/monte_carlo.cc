@@ -221,24 +221,29 @@ math::Proportion estimate_split_strategy_nonintersection(std::uint32_t n,
   return engine.run_trials<math::Proportion>(
       samples, rng,
       [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
-        // The half-universe offset makes this the one estimator still on
-        // the sorted-vector draw path (shifting a drawn mask by n/2 bits
-        // would cost more than the sort it avoids; this is a cold
-        // demonstration strategy, not a table path).
-        quorum::Quorum a, b;
+        // Mask draws over a *translated* sub-universe: Floyd's draw fills
+        // a half-width word scratch directly (no member list, no sort),
+        // and or_shifted translates it onto the full mask at offset 0 or
+        // n/2 depending on the half coin. Same rng consumption as the
+        // old sorted-vector flow (sample_without_replacement_bits draws
+        // exactly like the vector overload, then the coin), so results
+        // stay bit-identical to the scalar reference in
+        // tests/test_split_strategy.cc.
         quorum::QuorumBitset mask_a(n), mask_b(n);
-        auto draw = [&](quorum::Quorum& out) {
-          math::sample_without_replacement(half, q, shard_rng, out);
-          if (shard_rng.chance(0.5)) {
-            for (auto& u : out) u += half;
-          }
+        const std::size_t half_words = (half + 63) / 64;
+        std::vector<std::uint64_t> draw_words(half_words);
+        auto draw = [&](quorum::QuorumBitset& out) {
+          std::fill(draw_words.begin(), draw_words.end(), 0);
+          math::sample_without_replacement_bits(half, q, shard_rng,
+                                                draw_words.data());
+          const std::uint32_t offset = shard_rng.chance(0.5) ? half : 0;
+          out.clear();
+          out.or_shifted(draw_words.data(), half_words, offset);
         };
         math::Proportion result;
         for (std::uint64_t s = 0; s < shard_samples; ++s) {
-          draw(a);
-          draw(b);
-          mask_a.assign(a);
-          mask_b.assign(b);
+          draw(mask_a);
+          draw(mask_b);
           result.add(!mask_a.intersects(mask_b));
         }
         return result;

@@ -206,6 +206,24 @@ void QuorumBitset::or_with(const QuorumBitset& other) {
   simd::active().or_accum(words_, other.words_, words_n_);
 }
 
+void QuorumBitset::or_shifted(const std::uint64_t* src, std::size_t src_words,
+                              std::uint32_t offset) {
+  const std::size_t word_offset = offset >> 6;
+  const std::uint32_t bit_offset = offset & 63;
+  for (std::size_t i = 0; i < src_words; ++i) {
+    const std::uint64_t w = src[i];
+    if (w == 0) continue;
+    const std::size_t lo = word_offset + i;
+    PQS_CHECK(lo < words_n_);
+    words_[lo] |= w << bit_offset;
+    if (bit_offset != 0 && (w >> (64 - bit_offset)) != 0) {
+      PQS_CHECK(lo + 1 < words_n_);
+      words_[lo + 1] |= w >> (64 - bit_offset);
+    }
+  }
+  mask_padding();
+}
+
 Quorum QuorumBitset::to_quorum() const {
   Quorum out;
   to_quorum_into(out);

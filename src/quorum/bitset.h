@@ -112,6 +112,14 @@ class QuorumBitset {
   bool equals(const QuorumBitset& other) const;
   // this |= other (set union; the gossip/coverage accumulation primitive).
   void or_with(const QuorumBitset& other);
+  // ORs `src` (src_words raw words) into this bitset with every bit
+  // translated up by `offset` positions — the bridge from a draw over a
+  // translated sub-universe (sample_without_replacement_bits over, say,
+  // one half of a split universe) onto the full universe's mask without
+  // materializing a member list. Translated bits must land below the
+  // universe size (checked for nonzero source words).
+  void or_shifted(const std::uint64_t* src, std::size_t src_words,
+                  std::uint32_t offset);
 
   // Invokes fn(u) for every set bit u in ascending order — the one word
   // walk (ctz + clear-lowest-bit) every member-iterating caller shares. A

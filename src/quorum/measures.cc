@@ -26,4 +26,42 @@ double wall_server_load(const std::vector<std::uint32_t>& widths,
   return (1.0 + static_cast<double>(row) / widths[row]) / d;
 }
 
+double weighted_server_load(const std::vector<std::uint32_t>& votes,
+                            std::uint32_t threshold, std::uint32_t server) {
+  const std::size_t n = votes.size();
+  PQS_REQUIRE(server < n, "weighted server id");
+  PQS_REQUIRE(threshold >= 1, "weighted threshold");
+  // count[k][v] = number of size-k subsets of the other servers whose
+  // votes sum to exactly v < T (sums >= T can never keep the server out
+  // of the quorum race, so the table is clipped at T).
+  std::vector<std::vector<double>> count(
+      n, std::vector<double>(threshold, 0.0));
+  count[0][0] = 1.0;
+  std::size_t placed = 0;
+  for (std::size_t other = 0; other < n; ++other) {
+    if (other == server) continue;
+    ++placed;
+    for (std::size_t k = placed; k >= 1; --k) {
+      const std::uint32_t v = votes[other];
+      // Descending sums so each server is counted at most once per
+      // subset; sums below v cannot include this server.
+      for (std::uint32_t sum = threshold; sum-- > v;) {
+        count[k][sum] += count[k - 1][sum - v];
+      }
+    }
+  }
+  // P(exactly the k others precede `server` in a uniform permutation and
+  // they hold < T votes) = (#qualifying subsets) * k! (n-1-k)! / n!
+  //                      = (#qualifying subsets) / (n * C(n-1, k)).
+  double load = 0.0;
+  double choose = 1.0;  // C(n-1, k), updated incrementally
+  for (std::size_t k = 0; k < n; ++k) {
+    double below = 0.0;
+    for (std::uint32_t sum = 0; sum < threshold; ++sum) below += count[k][sum];
+    load += below / (static_cast<double>(n) * choose);
+    choose *= static_cast<double>(n - 1 - k) / static_cast<double>(k + 1);
+  }
+  return load;
+}
+
 }  // namespace pqs::quorum

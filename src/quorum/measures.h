@@ -29,4 +29,17 @@ double grid_server_load(std::uint32_t rows, std::uint32_t cols,
 double wall_server_load(const std::vector<std::uint32_t>& widths,
                         std::uint32_t row);
 
+// Weighted voting under the random-permutation strategy (the shortest
+// permutation prefix reaching the vote threshold T forms the quorum):
+// server u is in the quorum iff the votes of the servers ordered before
+// it sum below T, so
+//   l(u) = sum_k P(|before| = k) * P(votes(before) < T | |before| = k)
+//        = sum_k 1/(n * C(n-1, k)) * #{S subset of others : |S| = k,
+//                                       votes(S) < T}.
+// Computed exactly by a counting knapsack over (subset size, vote sum) —
+// O(n^2 * V) time, O(n * V) space; counts are exact in doubles for the
+// universe sizes the tests and benches use (they stay below 2^53).
+double weighted_server_load(const std::vector<std::uint32_t>& votes,
+                            std::uint32_t threshold, std::uint32_t server);
+
 }  // namespace pqs::quorum

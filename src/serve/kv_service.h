@@ -1,0 +1,179 @@
+// The sharded in-memory key-value serving tier.
+//
+// N `replica::InstantCluster` shards sit behind a request router: keys
+// hash to shards, every shard owns a bounded lock-free MPSC ring
+// (util::MpscRing), and a fixed set of worker threads batch-dequeues
+// requests and applies them through the clusters' zero-allocation
+// `write_into`/`read_into` entry points. The submit path is one hash plus
+// one ring push — no locks, no allocation — and the worker hot loop is
+// allocation-free in steady state (per-shard scratch results, a per-key
+// map that stops growing once every key has been written, a fixed-size
+// latency histogram).
+//
+// Determinism contract (the serving-tier face of the repo-wide one): the
+// router hash is a pure function of the key, each shard applies its
+// requests in FIFO order, and shard clusters are seeded independently —
+// so as long as every shard's request subsequence arrives in a fixed
+// order (one producer, or producers partitioned by shard), each shard's
+// aggregate counters are bit-identical across worker-thread counts and
+// across mask/allocating draw paths. Latency histograms are measured
+// (timing-dependent) and deliberately excluded from the aggregate.
+//
+// Latency is recorded against the request's *scheduled* arrival time
+// (workload::OpenLoopGenerator), so queueing delay from a backed-up shard
+// is charged to every request that was due while it was busy —
+// coordinated-omission-safe by construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+#include "replica/draw_path.h"
+#include "replica/instant_cluster.h"
+#include "stats/counters.h"
+#include "stats/latency_histogram.h"
+#include "stats/load_profile.h"
+#include "util/mpsc_ring.h"
+
+namespace pqs::serve {
+
+// One routed request. scheduled_ns is the open-loop arrival deadline
+// relative to the service epoch (service_now_ns() clock); latency is
+// measured from it at completion.
+struct Request {
+  std::uint64_t key = 0;
+  std::int64_t value = 0;  // written value (writes only)
+  std::uint64_t scheduled_ns = 0;
+  bool is_read = false;
+};
+
+// The deterministic per-shard outcome counters: everything here is a pure
+// function of the shard's request subsequence (no timings), so it is the
+// payload of the bit-identity gates in bench/serve_throughput.
+struct ShardAggregate {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t stale_reads = 0;  // read selection != last applied write
+  std::uint64_t empty_reads = 0;  // no selection, or never-written key
+  // Position-weighted per-server contact checksum (same shape as the
+  // protocol harness): sum over servers of (u + 1) * contacts[u].
+  std::uint64_t access_checksum = 0;
+
+  bool operator==(const ShardAggregate& o) const {
+    return reads == o.reads && writes == o.writes &&
+           stale_reads == o.stale_reads && empty_reads == o.empty_reads &&
+           access_checksum == o.access_checksum;
+  }
+  ShardAggregate& operator+=(const ShardAggregate& o) {
+    reads += o.reads;
+    writes += o.writes;
+    stale_reads += o.stale_reads;
+    empty_reads += o.empty_reads;
+    access_checksum += o.access_checksum;
+    return *this;
+  }
+};
+
+class KvService {
+ public:
+  struct Config {
+    std::uint32_t shards = 4;
+    // Shard-serving threads; shard s is owned by worker s % workers.
+    // Clamped to [1, shards].
+    std::uint32_t workers = 1;
+    std::size_t queue_capacity = 4096;  // per-shard ring slots
+    std::size_t batch = 64;             // max requests per dequeue
+    std::shared_ptr<const quorum::QuorumSystem> quorums;
+    replica::DrawPath draw_path = replica::DrawPath::kMask;
+    std::uint64_t seed = 1;  // shard s cluster seed derives from this
+  };
+
+  explicit KvService(Config config);
+  ~KvService();
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint32_t workers() const { return config_.workers; }
+
+  // Which shard serves `key` — a pure function of the key (SplitMix64
+  // finalizer, then a multiply-shift range reduction).
+  std::uint32_t shard_of(std::uint64_t key) const;
+
+  // Launches the worker threads and (re)starts the service clock — the
+  // timebase of Request::scheduled_ns. A drained service can be started
+  // again: cluster state and counters persist across runs, which is how
+  // the bench sweeps offered load on one deployment and reports each
+  // point's traffic as a stats::snapshot_delta.
+  void start();
+
+  // Lock-free submit: routes to the key's shard and pushes. Returns false
+  // when that shard's ring is full (the caller owns backpressure).
+  bool try_submit(const Request& request);
+  // Spins until the shard accepts (the bench's backpressure policy: an
+  // open-loop driver that outruns the service accrues scheduled-arrival
+  // lag, which the latency histogram then reports as queueing delay).
+  void submit(const Request& request);
+
+  // Flags shutdown, waits for every ring to drain, joins the workers.
+  // All submits must have completed before the call. The service may be
+  // start()ed again afterwards.
+  void stop_and_drain();
+
+  // Clears the per-shard latency histograms (only while stopped) so a
+  // restarted run reports its own percentiles; the deterministic
+  // aggregates and protocol counters keep accumulating regardless.
+  void reset_latency();
+
+  // Nanoseconds since start() on the service's steady clock — the
+  // timebase of Request::scheduled_ns.
+  std::uint64_t now_ns() const;
+
+  // Post-drain observability (valid after stop_and_drain()).
+  const ShardAggregate& shard_aggregate(std::uint32_t shard) const;
+  ShardAggregate fold_aggregates() const;
+  std::vector<ShardAggregate> aggregates() const;
+  const stats::LatencyHistogram& shard_histogram(std::uint32_t shard) const;
+  stats::LatencyHistogram merged_histogram() const;
+  // Per-server protocol counters folded across shard clusters (shards are
+  // iid replicas of one universe, so merging by server id is the fold).
+  stats::ContentionSnapshot contention_snapshot() const;
+  // Measured per-server load over client-side quorum contacts.
+  stats::LoadProfile server_profile() const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : ring(queue_capacity) {}
+    util::MpscRing<Request> ring;
+    std::unique_ptr<replica::InstantCluster> cluster;
+    // Worker-private state below: only the owning worker touches it
+    // between start() and stop_and_drain().
+    std::unordered_map<std::uint64_t, std::int64_t> last_written;
+    std::vector<std::uint64_t> accesses;  // per-server quorum contacts
+    replica::WriteResult write_scratch;
+    replica::ReadResult read_scratch;
+    ShardAggregate aggregate;
+    stats::LatencyHistogram histogram;
+  };
+
+  void worker_loop(std::uint32_t worker);
+  void process(Shard& shard, const Request& request);
+
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  bool running_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace pqs::serve

@@ -18,6 +18,25 @@ double ContentionSnapshot::superseded_rate() const {
                    static_cast<double>(total.writes_accepted);
 }
 
+ContentionSnapshot snapshot_delta(const ContentionSnapshot& before,
+                                  const ContentionSnapshot& after) {
+  if (before.universe_size() == 0) return after;
+  PQS_REQUIRE(before.universe_size() == after.universe_size(),
+              "snapshot delta universe mismatch");
+  ContentionSnapshot delta(after.universe_size());
+  for (std::uint32_t u = 0; u < after.universe_size(); ++u) {
+    const ServerCounters& b = before.server(u);
+    const ServerCounters& a = after.server(u);
+    PQS_REQUIRE(a.writes_accepted >= b.writes_accepted &&
+                    a.reads_served >= b.reads_served &&
+                    a.writes_superseded >= b.writes_superseded,
+                "snapshot delta: before does not precede after");
+    delta.server(u) = a;
+    delta.server(u) -= b;
+  }
+  return delta;
+}
+
 void ContentionSnapshot::merge(const ContentionSnapshot& other) {
   if (per_server_.empty()) {
     *this = other;

@@ -27,6 +27,12 @@ struct ServerCounters {
     writes_superseded += o.writes_superseded;
     return *this;
   }
+  ServerCounters& operator-=(const ServerCounters& o) {
+    writes_accepted -= o.writes_accepted;
+    reads_served -= o.reads_served;
+    writes_superseded -= o.writes_superseded;
+    return *this;
+  }
   bool operator==(const ServerCounters& o) const {
     return writes_accepted == o.writes_accepted &&
            reads_served == o.reads_served &&
@@ -71,5 +77,15 @@ class ContentionSnapshot {
  private:
   std::vector<ServerCounters> per_server_;
 };
+
+/// Per-server difference of two snapshots of the *same* cluster taken at
+/// two points in time: what happened between them. Counters are monotone,
+/// so `after` must dominate `before` elementwise (checked); universes must
+/// match, except that an empty `before` acts as the all-zero snapshot.
+/// This is how experiment phases (bench sections, gossip rounds, fault
+/// windows) report their own traffic without recomputing per-server diffs
+/// ad hoc.
+ContentionSnapshot snapshot_delta(const ContentionSnapshot& before,
+                                  const ContentionSnapshot& after);
 
 }  // namespace pqs::stats

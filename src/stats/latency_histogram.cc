@@ -1,0 +1,58 @@
+#include "stats/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pqs::stats {
+
+std::size_t LatencyHistogram::index_of(std::uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+  const std::uint32_t msb =
+      63u - static_cast<std::uint32_t>(__builtin_clzll(value));
+  const std::uint32_t shift = msb - kSubBucketBits + 1;
+  const std::uint64_t sub = value >> shift;  // in [kHalf, kSubBucketCount)
+  return static_cast<std::size_t>(kSubBucketCount + (shift - 1) * kHalf +
+                                  (sub - kHalf));
+}
+
+std::uint64_t LatencyHistogram::bucket_low(std::size_t index) {
+  if (index < kSubBucketCount) return index;
+  const std::uint64_t rel = index - kSubBucketCount;
+  const std::uint32_t shift = static_cast<std::uint32_t>(rel / kHalf) + 1;
+  const std::uint64_t sub = kHalf + rel % kHalf;
+  return sub << shift;
+}
+
+std::uint64_t LatencyHistogram::bucket_width(std::size_t index) {
+  if (index < kSubBucketCount) return 1;
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>((index - kSubBucketCount) / kHalf) + 1;
+  return 1ULL << shift;
+}
+
+std::uint64_t LatencyHistogram::value_at_percentile(double percentile) const {
+  if (total_ == 0) return 0;
+  const double clamped = std::min(std::max(percentile, 0.0), 100.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(total_)));
+  rank = std::min(std::max<std::uint64_t>(rank, 1), total_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // Bucket midpoint, never above a real sample: the only bucket whose
+      // midpoint can exceed the exact max is the one holding it.
+      const std::uint64_t mid = bucket_low(i) + (bucket_width(i) - 1) / 2;
+      return std::min(mid, max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace pqs::stats

@@ -1,0 +1,74 @@
+// HDR-style log-bucketed latency recording.
+//
+// The serving tier records one latency sample per completed request, so
+// the recorder must be allocation-free, O(1) per sample, and mergeable
+// across shards without losing information. LatencyHistogram follows the
+// HdrHistogram idea: values up to 2^6 land in exact unit buckets; above
+// that, each power-of-two range is split into 32 sub-buckets, bounding
+// the relative quantization error of any reported percentile at ~1.6%
+// (half a bucket). Counts are plain uint64s, so merging histograms is an
+// elementwise add — bit-identical to having recorded every sample into
+// one histogram — and the observed maximum is tracked exactly so the tail
+// report never exceeds a real sample.
+//
+// Values are dimensionless (the serving bench records nanoseconds);
+// values above ~2^62 saturate into the top bucket.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pqs::stats {
+
+class LatencyHistogram {
+ public:
+  // 64 exact unit buckets, then 32 sub-buckets per power of two.
+  static constexpr std::uint32_t kSubBucketBits = 6;
+  static constexpr std::uint64_t kSubBucketCount = 1ULL << kSubBucketBits;
+  static constexpr std::uint64_t kHalf = kSubBucketCount / 2;
+  static constexpr std::uint32_t kMaxShift = 63 - kSubBucketBits + 1;
+  static constexpr std::size_t kBucketCount =
+      kSubBucketCount + kMaxShift * kHalf;
+
+  LatencyHistogram() { counts_.fill(0); }
+
+  // O(1), allocation-free: one array increment plus a max update.
+  void record(std::uint64_t value) {
+    ++counts_[index_of(value)];
+    ++total_;
+    if (value > max_) max_ = value;
+  }
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+
+  // The value at or below which `percentile` percent of recorded samples
+  // fall, reported as the matching bucket's midpoint (clamped to the exact
+  // observed maximum). 0 when nothing was recorded.
+  std::uint64_t value_at_percentile(double percentile) const;
+
+  std::uint64_t p50() const { return value_at_percentile(50.0); }
+  std::uint64_t p99() const { return value_at_percentile(99.0); }
+  std::uint64_t p999() const { return value_at_percentile(99.9); }
+
+  // Lossless shard merge: counts add elementwise, the max is the max.
+  void merge(const LatencyHistogram& other);
+
+  bool operator==(const LatencyHistogram& other) const {
+    return total_ == other.total_ && max_ == other.max_ &&
+           counts_ == other.counts_;
+  }
+
+  // Exposed for the oracle tests: which bucket a value lands in and the
+  // bucket's [low, low + width) coverage.
+  static std::size_t index_of(std::uint64_t value);
+  static std::uint64_t bucket_low(std::size_t index);
+  static std::uint64_t bucket_width(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pqs::stats

@@ -1,0 +1,117 @@
+// A bounded lock-free MPSC ring buffer (Vyukov-style sequence slots).
+//
+// The serving tier's request router needs one queue per shard that many
+// producer (load-generator) threads can push into while exactly one shard
+// worker drains it, with no locks on either side. Each slot carries an
+// atomic sequence number: a producer claims a position with one CAS on the
+// tail counter and publishes the payload with a release store of the slot
+// sequence; the consumer observes payloads through an acquire load of the
+// same sequence, so the element copy itself never races (TSan-clean by
+// construction). Capacity is fixed at construction and rounded up to a
+// power of two; a full ring rejects the push (try_push returns false) so
+// callers choose their own backpressure policy.
+//
+// Orderings: pushes from one producer dequeue in that producer's order
+// (positions are claimed in CAS order, and the consumer drains positions
+// in order); pushes from different producers interleave arbitrarily.
+// pop_batch must only ever be called from one thread at a time — the
+// single-consumer half of the contract is not checked.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "util/require.h"
+
+namespace pqs::util {
+
+template <typename T>
+class MpscRing {
+  static_assert(std::is_nothrow_copy_assignable_v<T>,
+                "ring payloads are copied under the slot protocol");
+
+ public:
+  explicit MpscRing(std::size_t capacity) {
+    PQS_REQUIRE(capacity >= 2, "ring capacity");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Multi-producer push. Returns false when the ring is full (the slot a
+  // producer would claim has not been consumed yet).
+  bool try_push(const T& value) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = value;
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed pos; retry against the new position.
+      } else if (dif < 0) {
+        return false;  // the slot still holds an unconsumed element
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Single-consumer batch dequeue: copies up to `max` elements into `out`
+  // and returns how many were taken (0 when the ring is empty).
+  std::size_t pop_batch(T* out, std::size_t max) {
+    std::size_t taken = 0;
+    while (taken < max) {
+      Slot& slot = slots_[head_ & mask_];
+      const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      if (seq != head_ + 1) break;  // next element not published yet
+      out[taken++] = slot.value;
+      slot.sequence.store(head_ + capacity_, std::memory_order_release);
+      ++head_;
+    }
+    return taken;
+  }
+
+  // Consumer-side emptiness probe (racy for producers by nature: a push
+  // may land right after the check).
+  bool empty() const {
+    const Slot& slot = slots_[head_ & mask_];
+    return slot.sequence.load(std::memory_order_acquire) != head_ + 1;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  // Producers share the tail counter; the head is consumer-private (the
+  // single-consumer contract), so it needs no atomicity. Separate cache
+  // lines keep producer CAS traffic off the consumer's line.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::uint64_t head_ = 0;
+};
+
+}  // namespace pqs::util

@@ -1,0 +1,54 @@
+#include "workload/open_loop.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace pqs::workload {
+
+OpenLoopSpec OpenLoopSpec::ycsb_a(std::uint64_t keys) {
+  OpenLoopSpec spec;
+  spec.keys = keys;
+  spec.zipf_exponent = 0.99;
+  spec.read_fraction = 0.5;
+  return spec;
+}
+
+OpenLoopSpec OpenLoopSpec::ycsb_b(std::uint64_t keys) {
+  OpenLoopSpec spec = ycsb_a(keys);
+  spec.read_fraction = 0.95;
+  return spec;
+}
+
+OpenLoopSpec OpenLoopSpec::ycsb_c(std::uint64_t keys) {
+  OpenLoopSpec spec = ycsb_a(keys);
+  spec.read_fraction = 1.0;
+  return spec;
+}
+
+OpenLoopGenerator::OpenLoopGenerator(const OpenLoopSpec& spec,
+                                     std::uint64_t seed)
+    : spec_(spec), keys_(spec.keys, spec.zipf_exponent), rng_(seed) {
+  PQS_REQUIRE(spec.read_fraction >= 0.0 && spec.read_fraction <= 1.0,
+              "read fraction");
+  PQS_REQUIRE(spec.arrival_rate >= 0.0, "arrival rate");
+  if (spec.arrival_rate > 0.0) period_ns_ = 1e9 / spec.arrival_rate;
+}
+
+void OpenLoopGenerator::next(Operation& out) {
+  out.key = keys_.sample(rng_);
+  out.is_read = rng_.chance(spec_.read_fraction);
+  out.value = out.is_read ? 0 : ++next_value_;
+  // The deadline comes from the generation index, not from when the
+  // caller got around to asking: a backed-up driver sees deadlines fall
+  // further and further behind real time, which is exactly the queueing
+  // delay coordinated omission would hide.
+  out.scheduled_ns =
+      period_ns_ == 0.0
+          ? 0
+          : static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(generated_) * period_ns_));
+  ++generated_;
+}
+
+}  // namespace pqs::workload

@@ -1,0 +1,140 @@
+// stats::LatencyHistogram — the HDR-style log-bucketed recorder.
+//
+// Contracts: the bucket geometry covers every uint64 with bounded relative
+// width; values below the sub-bucket count are recorded exactly;
+// percentiles agree with a sorted-vector oracle to within the advertised
+// quantization error; the shard merge is lossless (merging split streams
+// equals recording one stream); and the reported tail never exceeds the
+// exact observed maximum.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "stats/latency_histogram.h"
+
+namespace pqs::stats {
+namespace {
+
+// Deterministic value stream spanning many decades: a linear-congruential
+// step picks the magnitude (0..2^47) so buckets from the exact region up
+// through dozens of powers of two all get traffic.
+std::vector<std::uint64_t> sample_stream(std::size_t count) {
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  std::uint64_t x = 0x2545f4914f6cdd1dULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint32_t shift = static_cast<std::uint32_t>((x >> 58));  // 0..63
+    values.push_back((x >> 17) & ((1ULL << (shift < 48 ? shift : 47)) - 1));
+  }
+  return values;
+}
+
+TEST(LatencyHistogram, EmptyReportsZeroes) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(LatencyHistogram, BucketGeometryCoversEveryValue) {
+  const std::uint64_t probes[] = {0,    1,    63,   64,        65,
+                                  127,  128,  129,  1000,      4095,
+                                  4096, 1u << 20,   1ULL << 40, (1ULL << 62) + 5,
+                                  ~0ULL};
+  std::size_t prev_index = 0;
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = LatencyHistogram::index_of(v);
+    ASSERT_LT(idx, LatencyHistogram::kBucketCount) << v;
+    const std::uint64_t low = LatencyHistogram::bucket_low(idx);
+    const std::uint64_t width = LatencyHistogram::bucket_width(idx);
+    EXPECT_LE(low, v) << v;
+    EXPECT_LT(v - low, width) << v;
+    // Bounded relative width: exact below 64, <= low/32 above.
+    if (v >= 64) {
+      EXPECT_LE(width, low / 32) << v;
+    } else {
+      EXPECT_EQ(width, 1u) << v;
+    }
+    // Monotone: larger values never land in earlier buckets.
+    EXPECT_GE(idx, prev_index) << v;
+    prev_index = idx;
+  }
+}
+
+TEST(LatencyHistogram, ExactRegionRecordsExactPercentiles) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.max(), 63u);
+  // rank = ceil(p/100 * 64) - 1 in the sorted stream 0..63, and unit
+  // buckets report their exact value.
+  EXPECT_EQ(h.p50(), 31u);
+  EXPECT_EQ(h.value_at_percentile(25.0), 15u);
+  EXPECT_EQ(h.value_at_percentile(100.0), 63u);
+  EXPECT_EQ(h.p999(), 63u);
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedOracleWithinQuantization) {
+  const auto values = sample_stream(20000);
+  LatencyHistogram h;
+  for (const auto v : values) h.record(v);
+  ASSERT_EQ(h.count(), values.size());
+
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(h.max(), sorted.back());
+
+  for (const double p : {10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::min<double>(
+                                  static_cast<double>(sorted.size()),
+                                  p / 100.0 * sorted.size() + 0.9999)));
+    const std::uint64_t oracle = sorted[rank - 1];
+    const std::uint64_t got = h.value_at_percentile(p);
+    // The reported midpoint and the oracle sample share a bucket whose
+    // width is at most low/32, so they differ by at most ~3.2% + 1.
+    const std::uint64_t tolerance = oracle / 16 + 1;
+    EXPECT_LE(got > oracle ? got - oracle : oracle - got, tolerance)
+        << "p=" << p << " oracle=" << oracle << " got=" << got;
+    // The tail must never exceed a real sample.
+    EXPECT_LE(got, h.max());
+  }
+}
+
+TEST(LatencyHistogram, MergeIsLossless) {
+  const auto values = sample_stream(12000);
+  LatencyHistogram all;
+  LatencyHistogram shard[3];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    all.record(values[i]);
+    shard[i % 3].record(values[i]);
+  }
+  LatencyHistogram merged;
+  for (const auto& s : shard) merged.merge(s);
+  // Elementwise-add merge == one histogram over the whole stream, bucket
+  // for bucket (operator== compares counts, total, and max).
+  EXPECT_TRUE(merged == all);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.max(), all.max());
+  EXPECT_EQ(merged.p999(), all.p999());
+  // Merging an empty histogram changes nothing.
+  merged.merge(LatencyHistogram());
+  EXPECT_TRUE(merged == all);
+}
+
+TEST(LatencyHistogram, TopBucketSaturatesInsteadOfOverflowing) {
+  LatencyHistogram h;
+  h.record(~0ULL);
+  h.record(1ULL << 63);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_LE(h.value_at_percentile(100.0), ~0ULL);
+  EXPECT_GE(h.value_at_percentile(100.0), 1ULL << 63);
+}
+
+}  // namespace
+}  // namespace pqs::stats

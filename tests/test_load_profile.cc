@@ -5,11 +5,14 @@
 //     bit-identical to the pre-kernel per-bit walk — same draws, same hit
 //     counts — at 1, 2, and 8 threads, and the estimate_server_loads /
 //     estimate_load wrappers are pure views of the profile;
-//   * measured profiles of the symmetric constructions match the
-//     closed-form per-server loads in quorum/measures.h (grid) and the
-//     per-row wall formula;
+//   * measured profiles of the constructions match the closed-form
+//     per-server loads in quorum/measures.h — the symmetric grid, the
+//     per-row wall formula, and the weighted-voting permutation-prefix
+//     formula (a counting knapsack, exercised against a heterogeneous
+//     vote vector);
 //   * ContentionSnapshot aggregates replica::Server counters faithfully,
-//     and InstantCluster::read_repair_into pushes the selected record to
+//     snapshot_delta isolates one phase's traffic, and
+//     InstantCluster::read_repair_into pushes the selected record to
 //     exactly the stale quorum members.
 #include <gtest/gtest.h>
 
@@ -26,6 +29,7 @@
 #include "quorum/measures.h"
 #include "quorum/threshold.h"
 #include "quorum/wall.h"
+#include "quorum/weighted.h"
 #include "replica/instant_cluster.h"
 #include "stats/counters.h"
 #include "stats/load_profile.h"
@@ -191,6 +195,48 @@ TEST(EstimateLoadProfile, WallMatchesClosedFormPerRowLoad) {
   }
 }
 
+TEST(WeightedServerLoad, UnitVotesReduceToThePrefixFormula) {
+  // Unit votes, T of n: the quorum is always the first T servers of the
+  // permutation, so every server is used with probability exactly T/n.
+  const std::vector<std::uint32_t> votes(5, 1);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    EXPECT_DOUBLE_EQ(quorum::weighted_server_load(votes, 3, u), 0.6);
+  }
+}
+
+TEST(EstimateLoadProfile, WeightedVotingMatchesClosedFormPerServerLoad) {
+  constexpr std::uint64_t kSamples = 40000;
+  const std::vector<std::uint32_t> votes{4, 3, 2, 1, 1, 1};  // V = 12
+  constexpr std::uint32_t kThreshold = 7;                    // 2T > V
+  const quorum::WeightedVotingSystem sys(votes, kThreshold);
+  core::Estimator engine({2});
+  math::Rng rng(9);
+  const auto profile = core::estimate_load_profile(sys, kSamples, rng, engine);
+  double max_expected = 0.0;
+  for (std::uint32_t u = 0; u < sys.universe_size(); ++u) {
+    const double expected =
+        quorum::weighted_server_load(votes, kThreshold, u);
+    max_expected = std::max(max_expected, expected);
+    EXPECT_NEAR(profile.load(u), expected, 0.02) << "server " << u;
+  }
+  // Servers with equal votes are exchangeable: identical closed-form load.
+  EXPECT_DOUBLE_EQ(quorum::weighted_server_load(votes, kThreshold, 3),
+                   quorum::weighted_server_load(votes, kThreshold, 4));
+  EXPECT_DOUBLE_EQ(quorum::weighted_server_load(votes, kThreshold, 4),
+                   quorum::weighted_server_load(votes, kThreshold, 5));
+  // More votes means more duty (the Gifford skew the construction is in
+  // the baseline set to demonstrate).
+  EXPECT_GT(quorum::weighted_server_load(votes, kThreshold, 0),
+            quorum::weighted_server_load(votes, kThreshold, 1));
+  EXPECT_GT(quorum::weighted_server_load(votes, kThreshold, 1),
+            quorum::weighted_server_load(votes, kThreshold, 5));
+  // The system's own (fixed-seed Monte-Carlo) load agrees with the exact
+  // maximum, and the vote-4 server is the hot one.
+  EXPECT_NEAR(sys.load(), max_expected, 0.01);
+  EXPECT_NEAR(profile.max_load(), max_expected, 0.02);
+  EXPECT_EQ(profile.hottest(1).at(0).server, 0u);
+}
+
 // ---- contention snapshots --------------------------------------------------
 
 std::shared_ptr<const quorum::QuorumSystem> small_threshold() {
@@ -240,6 +286,38 @@ TEST(ContentionSnapshot, MirrorsServerCountersAndAggregates) {
   stats::ContentionSnapshot empty;
   empty.merge(snap);
   EXPECT_TRUE(empty == snap);
+}
+
+TEST(ContentionSnapshot, SnapshotDeltaIsolatesOnePhase) {
+  replica::InstantCluster::Config cfg;
+  cfg.quorums = small_threshold();
+  cfg.seed = 31;
+  replica::InstantCluster cluster(cfg);
+  for (std::int64_t i = 0; i < 20; ++i) cluster.write(3, i);
+  const stats::ContentionSnapshot before = cluster.contention_snapshot();
+  for (std::int64_t i = 0; i < 10; ++i) {
+    cluster.write(3, 100 + i);
+    cluster.read(3);
+  }
+  const stats::ContentionSnapshot after = cluster.contention_snapshot();
+  const stats::ContentionSnapshot delta = stats::snapshot_delta(before, after);
+  ASSERT_EQ(delta.universe_size(), 5u);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    stats::ServerCounters manual = after.server(u);
+    manual -= before.server(u);
+    EXPECT_EQ(delta.server(u), manual) << "server " << u;
+  }
+  // The phase alone: 10 writes and 10 reads over 3-server quorums.
+  EXPECT_EQ(delta.totals().writes_accepted, 30u);
+  EXPECT_EQ(delta.totals().reads_served, 30u);
+  // An empty `before` is the all-zero snapshot: the delta is `after`.
+  EXPECT_TRUE(stats::snapshot_delta(stats::ContentionSnapshot(), after) ==
+              after);
+  // Delta against itself is zero everywhere.
+  const stats::ContentionSnapshot zero = stats::snapshot_delta(after, after);
+  EXPECT_EQ(zero.totals().writes_accepted, 0u);
+  EXPECT_EQ(zero.totals().reads_served, 0u);
+  EXPECT_EQ(zero.totals().writes_superseded, 0u);
 }
 
 // ---- read repair -----------------------------------------------------------

@@ -1,0 +1,182 @@
+// serve::KvService — the sharded serving tier end to end.
+//
+// The load-bearing contract is the determinism gate the bench relies on:
+// with a single producer, each shard's aggregate counters are a pure
+// function of the request stream, so they must be bit-identical across
+// shard-serving worker counts and across the mask/allocating draw paths.
+// The rest pins down routing purity, drain completeness (every submitted
+// request lands in exactly one histogram slot and one aggregate), the
+// stale/empty read accounting against majority quorums (which never read
+// stale), and the restart contract (aggregates accumulate across runs,
+// reset_latency clears only the histograms). Tier-1 tests run under the
+// CI TSan job, so the ring handoff and worker shutdown are race-checked.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quorum/threshold.h"
+#include "serve/kv_service.h"
+#include "workload/open_loop.h"
+
+namespace pqs::serve {
+namespace {
+
+std::shared_ptr<const quorum::QuorumSystem> majority(std::uint32_t n = 15) {
+  return std::make_shared<quorum::ThresholdSystem>(
+      quorum::ThresholdSystem::majority(n));
+}
+
+KvService::Config base_config(std::uint32_t shards, std::uint32_t workers,
+                              replica::DrawPath path) {
+  KvService::Config cfg;
+  cfg.shards = shards;
+  cfg.workers = workers;
+  cfg.queue_capacity = 256;
+  cfg.quorums = majority();
+  cfg.draw_path = path;
+  cfg.seed = 77;
+  return cfg;
+}
+
+// Drives `ops` generator operations through a fresh service from this one
+// thread (the single-producer determinism precondition) and returns the
+// per-shard aggregates.
+std::vector<ShardAggregate> run_service(std::uint32_t shards,
+                                        std::uint32_t workers,
+                                        replica::DrawPath path,
+                                        std::uint64_t ops,
+                                        std::uint64_t* histogram_count) {
+  KvService service(base_config(shards, workers, path));
+  workload::OpenLoopSpec spec;
+  spec.keys = 64;
+  spec.zipf_exponent = 0.99;
+  workload::OpenLoopGenerator gen(spec, 123);
+  workload::Operation op;
+  Request req;
+  service.start();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    gen.next(op);
+    req.key = op.key;
+    req.value = op.value;
+    req.scheduled_ns = service.now_ns();
+    req.is_read = op.is_read;
+    service.submit(req);
+  }
+  service.stop_and_drain();
+  if (histogram_count != nullptr) {
+    *histogram_count = service.merged_histogram().count();
+  }
+  return service.aggregates();
+}
+
+TEST(KvService, AggregatesBitIdenticalAcrossWorkerCountsAndDrawPaths) {
+  constexpr std::uint64_t kOps = 4000;
+  using replica::DrawPath;
+  const auto base = run_service(4, 1, DrawPath::kMask, kOps, nullptr);
+  ASSERT_EQ(base.size(), 4u);
+  // Worker count only changes which thread serves a shard, never what the
+  // shard computes.
+  EXPECT_EQ(base, run_service(4, 2, DrawPath::kMask, kOps, nullptr));
+  EXPECT_EQ(base, run_service(4, 8, DrawPath::kMask, kOps, nullptr));
+  // The allocating draw path consumes the same rng stream per cluster.
+  EXPECT_EQ(base, run_service(4, 2, DrawPath::kAllocating, kOps, nullptr));
+}
+
+TEST(KvService, DrainsEveryRequestExactlyOnce) {
+  constexpr std::uint64_t kOps = 3000;
+  std::uint64_t recorded = 0;
+  const auto aggregates =
+      run_service(3, 2, replica::DrawPath::kMask, kOps, &recorded);
+  EXPECT_EQ(recorded, kOps);
+  ShardAggregate fold;
+  for (const auto& a : aggregates) fold += a;
+  EXPECT_EQ(fold.reads + fold.writes, kOps);
+  EXPECT_GT(fold.access_checksum, 0u);
+}
+
+TEST(KvService, RoutingIsPureAndCoversEveryShard) {
+  KvService service(base_config(8, 1, replica::DrawPath::kMask));
+  std::vector<bool> hit(8, false);
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    const std::uint32_t shard = service.shard_of(key);
+    ASSERT_LT(shard, 8u);
+    EXPECT_EQ(shard, service.shard_of(key));  // pure function of the key
+    hit[shard] = true;
+  }
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(hit[s]) << "shard " << s << " never routed to";
+  }
+}
+
+TEST(KvService, MajorityQuorumsReadTheirWritesAcrossRestart) {
+  KvService service(base_config(1, 1, replica::DrawPath::kMask));
+  Request req;
+  req.key = 5;
+  req.value = 42;
+  req.is_read = false;
+  service.start();
+  service.submit(req);
+  service.stop_and_drain();
+
+  // Restart: cluster state persists, so the read run sees the write.
+  req.is_read = true;
+  service.start();
+  service.submit(req);
+  service.stop_and_drain();
+
+  const ShardAggregate fold = service.fold_aggregates();
+  EXPECT_EQ(fold.writes, 1u);
+  EXPECT_EQ(fold.reads, 1u);
+  // Majority quorums always intersect: never stale, never empty.
+  EXPECT_EQ(fold.stale_reads, 0u);
+  EXPECT_EQ(fold.empty_reads, 0u);
+  // Both ops contacted an 8-server majority of the 15-server universe.
+  EXPECT_EQ(service.server_profile().samples(), 2u);
+  EXPECT_EQ(service.contention_snapshot().totals().writes_accepted, 8u);
+  EXPECT_EQ(service.contention_snapshot().totals().reads_served, 8u);
+}
+
+TEST(KvService, ReadsBeforeAnyWriteCountAsEmptyNeverStale) {
+  KvService service(base_config(2, 1, replica::DrawPath::kMask));
+  Request req;
+  req.is_read = true;
+  service.start();
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    req.key = key;
+    service.submit(req);
+  }
+  service.stop_and_drain();
+  const ShardAggregate fold = service.fold_aggregates();
+  EXPECT_EQ(fold.reads, 50u);
+  EXPECT_EQ(fold.empty_reads, 50u);
+  EXPECT_EQ(fold.stale_reads, 0u);
+}
+
+TEST(KvService, ResetLatencyClearsHistogramsButKeepsAggregates) {
+  KvService service(base_config(2, 2, replica::DrawPath::kMask));
+  Request req;
+  req.key = 9;
+  req.value = 1;
+  service.start();
+  for (int i = 0; i < 10; ++i) service.submit(req);
+  service.stop_and_drain();
+  EXPECT_EQ(service.merged_histogram().count(), 10u);
+
+  service.reset_latency();
+  EXPECT_EQ(service.merged_histogram().count(), 0u);
+  // The deterministic counters are untouched by the latency reset...
+  EXPECT_EQ(service.fold_aggregates().writes, 10u);
+
+  // ...and the next run's histogram contains only its own samples while
+  // the aggregates keep accumulating.
+  service.start();
+  for (int i = 0; i < 4; ++i) service.submit(req);
+  service.stop_and_drain();
+  EXPECT_EQ(service.merged_histogram().count(), 4u);
+  EXPECT_EQ(service.fold_aggregates().writes, 14u);
+}
+
+}  // namespace
+}  // namespace pqs::serve

@@ -1,8 +1,9 @@
-// estimate_split_strategy_nonintersection is the one estimator still on the
-// sorted-vector draw path (its draws live in a translated half-universe, so
-// mask draws do not apply directly — see monte_carlo.cc). This suite pins
-// its behaviour down before any future mask generalization: bit-identical
-// to an independently written scalar reference, bit-identical across thread
+// estimate_split_strategy_nonintersection draws masks over a *translated*
+// half-universe (sample_without_replacement_bits into half-width scratch,
+// then QuorumBitset::or_shifted onto the full mask — see monte_carlo.cc).
+// This suite pins its behaviour down: bit-identical to an independently
+// written sorted-vector scalar reference (which is also the cross-path
+// oracle for the translated mask draws), bit-identical across thread
 // counts, and statistically equal to the closed form
 //   P(nonintersect) = 1/2 + 1/2 * nonintersection_exact(n/2, q)
 // (different halves are disjoint surely; same half behaves like R(n/2, q)).
