@@ -161,9 +161,10 @@ struct RatePoint {
 };
 
 // Sweeps offered load over ONE deployment: the service (cluster state,
-// protocol counters) persists across points; each point restarts the
-// workers, clears only the latency histograms, and reports its own traffic
-// as a per-server snapshot delta.
+// protocol counters, latency histograms) persists across points; each
+// point restarts the workers and reports its own traffic as a per-server
+// snapshot delta and its own percentiles as a stats::histogram_delta of
+// the cumulative shard histograms — nothing is reset between points.
 std::vector<RatePoint> rate_sweep(
     const std::shared_ptr<const quorum::QuorumSystem>& sys,
     std::uint32_t workers, std::uint64_t ops) {
@@ -181,11 +182,11 @@ std::vector<RatePoint> rate_sweep(
 
   std::vector<RatePoint> points;
   stats::ContentionSnapshot prev = service.contention_snapshot();
+  stats::LatencyHistogram prev_hist;
   std::uint64_t point_index = 0;
   for (const double rate : {50000.0, 200000.0, 800000.0}) {
     spec.arrival_rate = rate;
     workload::OpenLoopGenerator gen(spec, 0x90b1ULL + point_index);
-    service.reset_latency();
     service.start();
     workload::Operation op;
     serve::Request req;
@@ -206,7 +207,12 @@ std::vector<RatePoint> rate_sweep(
     const stats::ContentionSnapshot delta = stats::snapshot_delta(prev, now);
     prev = now;
 
-    const stats::LatencyHistogram hist = service.merged_histogram();
+    // This point's own percentiles without a reset barrier: the
+    // elementwise difference of the cumulative shard histograms.
+    const stats::LatencyHistogram cumulative = service.merged_histogram();
+    const stats::LatencyHistogram hist =
+        stats::histogram_delta(prev_hist, cumulative);
+    prev_hist = cumulative;
     RatePoint p;
     p.offered_rate = rate;
     p.achieved_ops_per_sec =

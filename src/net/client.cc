@@ -1,0 +1,220 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/require.h"
+
+namespace pqs::net {
+
+namespace {
+
+void write_all(int fd, const unsigned char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      PQS_REQUIRE(false, "client send failed");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+Client::Client(Config config) : config_(std::move(config)) {
+  PQS_REQUIRE(config_.connections >= 1, "client needs connections");
+  PQS_REQUIRE(config_.window >= 1, "client needs a pipeline window");
+}
+
+Client::~Client() { stop(); }
+
+void Client::start() {
+  PQS_REQUIRE(!running_, "client already running");
+  epoch_ = std::chrono::steady_clock::now();
+  conns_.clear();
+  for (std::uint32_t i = 0; i < config_.connections; ++i) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    PQS_REQUIRE(conn->fd >= 0, "client socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    PQS_REQUIRE(
+        ::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) == 1,
+        "bad client host");
+    PQS_REQUIRE(::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                "client connect() failed");
+    const int one = 1;
+    ::setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conn->sendbuf.reserve(config_.flush_bytes + kFrameBytes);
+    conns_.push_back(std::move(conn));
+  }
+  for (auto& conn : conns_) {
+    Conn* c = conn.get();
+    c->reader = std::thread([this, c] { reader_loop(*c); });
+  }
+  running_ = true;
+}
+
+std::uint64_t Client::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Client::send(std::uint64_t key, std::int64_t value, bool is_read,
+                  std::uint64_t scheduled_ns) {
+  PQS_REQUIRE(running_, "client not running");
+  Conn& conn = *conns_[next_conn_++ % conns_.size()];
+  PQS_REQUIRE(!conn.failed.load(std::memory_order_acquire),
+              "client connection failed (server closed it?)");
+  // Window full: push what we have and wait for responses to free slots.
+  // The spin is measured — an open-loop driver's schedule keeps slipping,
+  // so the stall shows up as latency, never as omitted load.
+  if (conn.outstanding.load(std::memory_order_acquire) >= config_.window) {
+    flush_conn(conn);
+    while (conn.outstanding.load(std::memory_order_acquire) >=
+           config_.window) {
+      std::this_thread::yield();
+    }
+  }
+  Frame frame;
+  frame.op = is_read ? Op::kGet : Op::kPut;
+  frame.request_id = next_id_++;
+  frame.key = key;
+  frame.value = value;
+  {
+    std::lock_guard<std::mutex> lock(conn.pending_mutex);
+    conn.pending.emplace(frame.request_id, scheduled_ns);
+  }
+  conn.outstanding.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t used = conn.sendbuf.size();
+  conn.sendbuf.resize(used + kFrameBytes);
+  encode_frame(frame, conn.sendbuf.data() + used);
+  ++sent_;
+  if (conn.sendbuf.size() >= config_.flush_bytes) flush_conn(conn);
+}
+
+void Client::flush_conn(Conn& conn) {
+  if (conn.sendbuf.empty()) return;
+  write_all(conn.fd, conn.sendbuf.data(), conn.sendbuf.size());
+  conn.sendbuf.clear();
+}
+
+void Client::flush() {
+  for (auto& conn : conns_) flush_conn(*conn);
+}
+
+void Client::drain() {
+  flush();
+  for (auto& conn : conns_) {
+    while (conn->outstanding.load(std::memory_order_acquire) != 0) {
+      PQS_REQUIRE(!conn->failed.load(std::memory_order_acquire),
+                  "client connection failed while draining");
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Client::stop() {
+  if (!running_) return;
+  drain();
+  for (auto& conn : conns_) {
+    // Readers block in recv(); a shutdown wakes them with EOF.
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    ::close(conn->fd);
+  }
+  running_ = false;
+}
+
+void Client::reader_loop(Conn& conn) {
+  FrameDecoder decoder(1 << 16);
+  std::vector<unsigned char> buf(1 << 16);
+  Frame frame;
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      conn.failed.store(true, std::memory_order_release);
+      return;
+    }
+    if (n == 0) return;  // shutdown (ours) or server close
+    std::size_t offset = 0;
+    while (offset < static_cast<std::size_t>(n)) {
+      offset += decoder.feed(buf.data() + offset,
+                             static_cast<std::size_t>(n) - offset);
+      for (;;) {
+        const FrameDecoder::Result r = decoder.next(frame);
+        if (r == FrameDecoder::Result::kNeedMore) break;
+        if (r == FrameDecoder::Result::kError) {
+          conn.failed.store(true, std::memory_order_release);
+          return;
+        }
+        std::uint64_t scheduled = 0;
+        bool known = false;
+        {
+          std::lock_guard<std::mutex> lock(conn.pending_mutex);
+          const auto it = conn.pending.find(frame.request_id);
+          if (it != conn.pending.end()) {
+            scheduled = it->second;
+            known = true;
+            conn.pending.erase(it);
+          }
+        }
+        if (!known) {  // response to a request we never sent
+          conn.failed.store(true, std::memory_order_release);
+          return;
+        }
+        const std::uint64_t now = now_ns();
+        conn.histogram.record(now > scheduled ? now - scheduled : 0);
+        ++conn.received;
+        if (frame.op == Op::kGet) {
+          if (frame.found) {
+            ++conn.reads_found;
+          } else {
+            ++conn.reads_empty;
+          }
+        }
+        conn.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+}
+
+std::uint64_t Client::received() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : conns_) total += conn->received;
+  return total;
+}
+
+std::uint64_t Client::reads_found() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : conns_) total += conn->reads_found;
+  return total;
+}
+
+std::uint64_t Client::reads_empty() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : conns_) total += conn->reads_empty;
+  return total;
+}
+
+stats::LatencyHistogram Client::histogram() const {
+  stats::LatencyHistogram merged;
+  for (const auto& conn : conns_) merged.merge(conn->histogram);
+  return merged;
+}
+
+}  // namespace pqs::net

@@ -1,0 +1,110 @@
+// A pipelined, multi-connection TCP client for the serving tier.
+//
+// The bench driver thread calls send() for every generated operation:
+// frames are coalesced into a per-connection send buffer (flushed at a
+// size threshold, so a syscall carries many 32-byte frames) and assigned
+// round-robin across M connections. One reader thread per connection
+// decodes responses as they arrive — responses complete in shard-worker
+// order, not send order, so each is matched to its request by the echoed
+// request_id — and records end-to-end latency against the operation's
+// scheduled arrival time into a reader-private LatencyHistogram
+// (coordinated-omission-safe when the driver paces to a fixed schedule;
+// pure round-trip time when unpaced).
+//
+// Pipelining is bounded by `window` outstanding requests per connection:
+// a full window flushes and spins the driver, so client memory stays
+// bounded while the wire stays saturated. With connections = 1 the send
+// order is the wire order, which is the determinism precondition the
+// net_throughput bit-identity gates rely on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "stats/latency_histogram.h"
+
+namespace pqs::net {
+
+class Client {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::uint32_t connections = 1;
+    std::uint32_t window = 512;       // max outstanding per connection
+    std::size_t flush_bytes = 8192;   // coalescing threshold
+  };
+
+  explicit Client(Config config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects every connection and launches the reader threads; the
+  // client clock (now_ns(), the timebase of scheduled_ns) starts here.
+  void start();
+
+  // Queues one GET (is_read) or PUT. scheduled_ns is the latency origin:
+  // the open-loop deadline when pacing, now_ns() when not. Single driver
+  // thread by contract.
+  void send(std::uint64_t key, std::int64_t value, bool is_read,
+            std::uint64_t scheduled_ns);
+
+  // Pushes every coalesced buffer to the kernel.
+  void flush();
+
+  // flush(), then waits until every sent request has its response.
+  void drain();
+
+  // drain(), shuts the sockets down, joins the readers. Idempotent.
+  void stop();
+
+  std::uint64_t now_ns() const;
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t received() const;
+  std::uint64_t reads_found() const;   // GET responses with a selection
+  std::uint64_t reads_empty() const;   // GET responses without one
+  // Merged over the per-connection reader histograms. Only meaningful
+  // after drain() (readers quiesce once every response has arrived).
+  stats::LatencyHistogram histogram() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::vector<unsigned char> sendbuf;
+    // request_id -> scheduled_ns; driver inserts, reader erases.
+    std::mutex pending_mutex;
+    std::unordered_map<std::uint64_t, std::uint64_t> pending;
+    std::atomic<std::uint64_t> outstanding{0};
+    std::thread reader;
+    // Reader-private until the reader joins (stop()).
+    stats::LatencyHistogram histogram;
+    std::uint64_t received = 0;
+    std::uint64_t reads_found = 0;
+    std::uint64_t reads_empty = 0;
+    std::atomic<bool> failed{false};
+  };
+
+  void flush_conn(Conn& conn);
+  void reader_loop(Conn& conn);
+
+  Config config_;
+  bool running_ = false;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint32_t next_conn_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace pqs::net

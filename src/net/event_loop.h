@@ -1,0 +1,77 @@
+// A minimal edge-triggered epoll event loop.
+//
+// One EventLoop is one epoll instance plus one thread calling run(). All
+// fds are registered edge-triggered (EPOLLET), so handlers own the
+// drain-until-EAGAIN contract; in exchange the loop never rearms
+// level-triggered storms and a pipelined connection costs one wakeup per
+// readable burst, not per frame.
+//
+// Cross-thread work enters through post(): any thread may enqueue a task,
+// an eventfd wakes the loop, and the task runs on the loop thread — this
+// is how serving-tier worker threads hand completed responses back to the
+// connection's IO thread without ever touching a socket themselves.
+// Everything else (add/modify/remove, the handlers) is loop-thread-only
+// by contract, which keeps per-connection state machines single-threaded
+// and TSan-clean without per-connection locks on the IO side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace pqs::net {
+
+class EventLoop {
+ public:
+  // Receives the raw epoll event bits (EPOLLIN / EPOLLOUT / EPOLLHUP...).
+  using IoHandler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` edge-triggered for `events` (EPOLLET is implied).
+  // add/remove are thread-safe (an acceptor thread hands sockets to other
+  // loops); modify is loop-thread-only by contract.
+  void add_fd(int fd, std::uint32_t events, IoHandler handler);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);
+
+  // Thread-safe: enqueues `task` to run on the loop thread and wakes it.
+  void post(std::function<void()> task);
+
+  // Runs until stop(); the calling thread becomes the loop thread.
+  void run();
+
+  // Thread-safe: makes run() return after the current dispatch round.
+  void stop();
+
+  bool in_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_.load();
+  }
+
+ private:
+  void drain_wakeup();
+  void run_posted_tasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+  std::mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_;
+  // shared_ptr so a handler that removes fds (closing a connection) during
+  // a dispatch round cannot free a handler the round is still calling;
+  // the mutex covers cross-thread registration (acceptor → IO loop).
+  mutable std::mutex handlers_mutex_;
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+};
+
+}  // namespace pqs::net

@@ -1,0 +1,151 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/require.h"
+
+namespace pqs::net {
+
+namespace {
+
+inline void store_le16(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+inline void store_le32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline void store_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline std::uint16_t load_le16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t load_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void encode_frame(const Frame& frame, unsigned char* out) {
+  std::uint8_t opcode = static_cast<std::uint8_t>(frame.op) & kOpMask;
+  if (frame.found) opcode |= kFoundBit;
+  if (frame.response) opcode |= kResponseBit;
+  store_le32(out, static_cast<std::uint32_t>(kBodyBytes));
+  store_le16(out + 4, kMagic);
+  out[6] = kVersion;
+  out[7] = opcode;
+  store_le64(out + 8, frame.request_id);
+  store_le64(out + 16, frame.key);
+  store_le64(out + 24, static_cast<std::uint64_t>(frame.value));
+}
+
+FrameDecoder::FrameDecoder(std::size_t capacity) {
+  std::size_t cap = kFrameBytes;
+  while (cap < capacity) cap <<= 1;
+  buf_.assign(cap, 0);
+  mask_ = cap - 1;
+}
+
+std::size_t FrameDecoder::writable(Span out[2]) {
+  const std::size_t free = free_bytes();
+  if (free == 0) return 0;
+  const std::size_t start = static_cast<std::size_t>(tail_) & mask_;
+  const std::size_t to_edge = capacity() - start;
+  out[0].data = buf_.data() + start;
+  if (free <= to_edge) {
+    out[0].size = free;
+    return 1;
+  }
+  out[0].size = to_edge;
+  out[1].data = buf_.data();
+  out[1].size = free - to_edge;
+  return 2;
+}
+
+void FrameDecoder::commit(std::size_t n) {
+  PQS_REQUIRE(n <= free_bytes(), "decoder commit overruns the ring");
+  tail_ += n;
+}
+
+std::size_t FrameDecoder::feed(const void* data, std::size_t n) {
+  const unsigned char* src = static_cast<const unsigned char*>(data);
+  Span spans[2];
+  const std::size_t count = writable(spans);
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < count && accepted < n; ++s) {
+    const std::size_t take = std::min(spans[s].size, n - accepted);
+    std::memcpy(spans[s].data, src + accepted, take);
+    accepted += take;
+  }
+  commit(accepted);
+  return accepted;
+}
+
+void FrameDecoder::copy_out(unsigned char* dst, std::size_t offset,
+                            std::size_t n) const {
+  const std::size_t start = static_cast<std::size_t>(head_ + offset) & mask_;
+  const std::size_t to_edge = capacity() - start;
+  if (n <= to_edge) {
+    std::memcpy(dst, buf_.data() + start, n);
+  } else {
+    std::memcpy(dst, buf_.data() + start, to_edge);
+    std::memcpy(dst + to_edge, buf_.data(), n - to_edge);
+  }
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (error_ != nullptr) return Result::kError;
+  if (buffered_bytes() < 4) return Result::kNeedMore;
+  unsigned char len_bytes[4];
+  copy_out(len_bytes, 0, 4);
+  const std::uint32_t body_len = load_le32(len_bytes);
+  // The earliest rejection point: any length other than the v1 body is
+  // garbage, condemned before the rest of the header even arrives.
+  if (body_len != kBodyBytes) {
+    error_ = "bad frame length";
+    return Result::kError;
+  }
+  if (buffered_bytes() < kFrameBytes) return Result::kNeedMore;
+  unsigned char raw[kFrameBytes];
+  copy_out(raw, 0, kFrameBytes);
+  if (load_le16(raw + 4) != kMagic) {
+    error_ = "bad magic";
+    return Result::kError;
+  }
+  if (raw[6] != kVersion) {
+    error_ = "unsupported version";
+    return Result::kError;
+  }
+  const std::uint8_t opcode = raw[7];
+  const std::uint8_t op = opcode & kOpMask;
+  if (op != static_cast<std::uint8_t>(Op::kGet) &&
+      op != static_cast<std::uint8_t>(Op::kPut) &&
+      op != static_cast<std::uint8_t>(Op::kStats)) {
+    error_ = "unknown opcode";
+    return Result::kError;
+  }
+  out.op = static_cast<Op>(op);
+  out.found = (opcode & kFoundBit) != 0;
+  out.response = (opcode & kResponseBit) != 0;
+  out.request_id = load_le64(raw + 8);
+  out.key = load_le64(raw + 16);
+  out.value = static_cast<std::int64_t>(load_le64(raw + 24));
+  head_ += kFrameBytes;
+  return Result::kFrame;
+}
+
+}  // namespace pqs::net

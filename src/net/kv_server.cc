@@ -1,0 +1,311 @@
+#include "net/kv_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/require.h"
+
+namespace pqs::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  PQS_REQUIRE(flags >= 0, "fcntl(F_GETFL) failed");
+  PQS_REQUIRE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "fcntl(F_SETFL) failed");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+KvServer::KvServer(Config config, serve::KvService& service)
+    : config_(std::move(config)), service_(service) {
+  PQS_REQUIRE(config_.io_threads >= 1, "server needs IO threads");
+  PQS_REQUIRE(config_.decoder_capacity >= kFrameBytes,
+              "decoder ring must hold a frame");
+}
+
+KvServer::~KvServer() { stop(); }
+
+void KvServer::start() {
+  PQS_REQUIRE(!running_, "server already running");
+  PQS_REQUIRE(!service_.running(),
+              "start the server before the service (completion hook)");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  PQS_REQUIRE(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  PQS_REQUIRE(
+      ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) == 1,
+      "bad bind address");
+  PQS_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "bind() failed");
+  PQS_REQUIRE(::listen(listen_fd_, config_.backlog) == 0, "listen() failed");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  PQS_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                            &bound_len) == 0,
+              "getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+
+  service_.set_completion(
+      [this](const serve::Completion& done) { on_complete(done); });
+
+  loops_.clear();
+  for (std::uint32_t i = 0; i < config_.io_threads; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+  // The acceptor lives on loop 0; connections are dealt round-robin.
+  loops_[0]->add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) {
+    accept_ready();
+  });
+  io_threads_.reserve(loops_.size());
+  for (auto& loop : loops_) {
+    io_threads_.emplace_back([&loop] { loop->run(); });
+  }
+  running_ = true;
+}
+
+void KvServer::stop() {
+  if (!running_) return;
+  PQS_REQUIRE(!service_.running(),
+              "stop the service before the server (in-flight completions)");
+  for (auto& loop : loops_) loop->stop();
+  for (auto& t : io_threads_) t.join();
+  io_threads_.clear();
+  {
+    std::unique_lock<std::shared_mutex> lock(conns_mutex_);
+    for (auto& [id, conn] : conns_) {
+      conn->closed.store(true, std::memory_order_release);
+      ::close(conn->fd);
+    }
+    conns_.clear();
+  }
+  loops_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  service_.set_completion(nullptr);
+  running_ = false;
+}
+
+void KvServer::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    set_nodelay(fd);
+    auto conn = std::make_shared<Connection>(next_conn_id_++, fd,
+                                             config_.decoder_capacity);
+    EventLoop* loop = loops_[next_loop_++ % loops_.size()].get();
+    conn->loop = loop;
+    {
+      std::unique_lock<std::shared_mutex> lock(conns_mutex_);
+      conns_.emplace(conn->id, conn);
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // epoll_ctl is thread-safe, so the acceptor can register the fd on
+    // the owning loop's epoll directly; all subsequent events for it
+    // fire on that loop's thread.
+    loop->add_fd(fd, EPOLLIN, [this, conn](std::uint32_t events) {
+      handle_io(conn, events);
+    });
+  }
+}
+
+void KvServer::handle_io(const std::shared_ptr<Connection>& conn,
+                         std::uint32_t events) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_connection(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) try_write(conn);
+  if ((events & EPOLLIN) != 0) drain_input(conn);
+}
+
+void KvServer::drain_input(const std::shared_ptr<Connection>& conn) {
+  // Edge-triggered: read until EAGAIN (or close), parsing frames after
+  // every chunk so the decoder ring can never fill while making progress
+  // (a partial frame is at most kFrameBytes - 1 buffered bytes).
+  for (;;) {
+    FrameDecoder::Span spans[2];
+    const std::size_t span_count = conn->decoder.writable(spans);
+    if (span_count == 0) {
+      // Can only happen if a peer streams garbage that never parses; the
+      // decoder will condemn it below on the next frame boundary.
+      close_connection(conn);
+      return;
+    }
+    iovec iov[2];
+    for (std::size_t s = 0; s < span_count; ++s) {
+      iov[s].iov_base = spans[s].data;
+      iov[s].iov_len = spans[s].size;
+    }
+    const ssize_t n = ::readv(conn->fd, iov, static_cast<int>(span_count));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_connection(conn);
+      return;
+    }
+    if (n == 0) {  // orderly peer close
+      close_connection(conn);
+      return;
+    }
+    conn->decoder.commit(static_cast<std::size_t>(n));
+    Frame frame;
+    for (;;) {
+      const FrameDecoder::Result r = conn->decoder.next(frame);
+      if (r == FrameDecoder::Result::kNeedMore) break;
+      if (r == FrameDecoder::Result::kError) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        close_connection(conn);
+        return;
+      }
+      submit_frame(conn, frame);
+      if (conn->closed.load(std::memory_order_acquire)) return;
+    }
+  }
+}
+
+void KvServer::submit_frame(const std::shared_ptr<Connection>& conn,
+                            const Frame& frame) {
+  if (frame.response) {  // clients must not send response frames
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    close_connection(conn);
+    return;
+  }
+  if (frame.op == Op::kStats) {
+    // Answered inline from the IO thread: server-level counters, no
+    // service round trip (and no ordering slot in any shard ring).
+    Frame reply;
+    reply.op = Op::kStats;
+    reply.response = true;
+    reply.found = true;
+    reply.request_id = frame.request_id;
+    reply.key = connections_accepted();
+    reply.value = static_cast<std::int64_t>(ops_submitted());
+    stats_served_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_response(conn, reply);
+    return;
+  }
+  serve::Request req;
+  req.key = frame.key;
+  req.value = frame.value;
+  req.scheduled_ns = service_.now_ns();
+  req.ctx = conn->id;
+  req.request_id = frame.request_id;
+  req.is_read = frame.op == Op::kGet;
+  req.wants_reply = true;
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  // A full shard ring spins here: this IO thread stops reading, the
+  // kernel receive buffer fills, and TCP flow control is the
+  // backpressure the client sees.
+  service_.submit(req);
+}
+
+void KvServer::on_complete(const serve::Completion& done) {
+  const std::shared_ptr<Connection> conn = find_connection(done.ctx);
+  if (conn == nullptr) return;  // connection closed mid-flight
+  Frame reply;
+  reply.op = done.is_read ? Op::kGet : Op::kPut;
+  reply.response = true;
+  reply.found = done.found;
+  reply.request_id = done.request_id;
+  reply.key = done.key;
+  reply.value = done.value;
+  enqueue_response(conn, reply);
+}
+
+void KvServer::enqueue_response(const std::shared_ptr<Connection>& conn,
+                                const Frame& frame) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  unsigned char wire[kFrameBytes];
+  encode_frame(frame, wire);
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    conn->out.insert(conn->out.end(), wire, wire + kFrameBytes);
+  }
+  // Collapse a burst of completions into one flush task on the owning IO
+  // thread — the only thread that ever writes to the socket.
+  if (!conn->flush_pending.exchange(true, std::memory_order_acq_rel)) {
+    conn->loop->post([this, conn] {
+      conn->flush_pending.store(false, std::memory_order_release);
+      try_write(conn);
+    });
+  }
+}
+
+void KvServer::try_write(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(conn->out_mutex);
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          conn->loop->modify_fd(conn->fd, EPOLLIN | EPOLLOUT);
+        }
+        return;
+      }
+      // Hard send error: mark closed; the next read event reaps the fd.
+      conn->closed.store(true, std::memory_order_release);
+      return;
+    }
+    conn->out_offset += static_cast<std::size_t>(n);
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    conn->loop->modify_fd(conn->fd, EPOLLIN);
+  }
+}
+
+void KvServer::close_connection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
+  conn->loop->remove_fd(conn->fd);
+  {
+    std::unique_lock<std::shared_mutex> lock(conns_mutex_);
+    conns_.erase(conn->id);
+  }
+  ::close(conn->fd);
+}
+
+std::shared_ptr<KvServer::Connection> KvServer::find_connection(
+    std::uint64_t id) const {
+  std::shared_lock<std::shared_mutex> lock(conns_mutex_);
+  const auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+}  // namespace pqs::net

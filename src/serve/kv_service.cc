@@ -47,6 +47,11 @@ KvService::~KvService() {
   }
 }
 
+void KvService::set_completion(CompletionHandler handler) {
+  PQS_REQUIRE(!running_, "set_completion needs a stopped service");
+  completion_ = std::move(handler);
+}
+
 std::uint32_t KvService::shard_of(std::uint64_t key) const {
   // Multiply-shift range reduction of the mixed key: unbiased enough for
   // routing and, crucially, a pure function of (key, shard count).
@@ -169,6 +174,25 @@ void KvService::process(Shard& shard, const Request& request) {
   shard.histogram.record(now > request.scheduled_ns
                              ? now - request.scheduled_ns
                              : 0);
+  // Completion fires after the latency record so a caller that observed
+  // the reply knows this shard's histogram and aggregates already hold
+  // the request.
+  if (request.wants_reply && completion_) {
+    Completion done;
+    done.ctx = request.ctx;
+    done.request_id = request.request_id;
+    done.key = request.key;
+    done.is_read = request.is_read;
+    if (request.is_read) {
+      done.found = shard.read_scratch.selection.has_value;
+      done.value =
+          done.found ? shard.read_scratch.selection.record.value : 0;
+    } else {
+      done.found = true;
+      done.value = request.value;
+    }
+    completion_(done);
+  }
 }
 
 const ShardAggregate& KvService::shard_aggregate(std::uint32_t shard) const {

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -45,12 +46,29 @@ namespace pqs::serve {
 
 // One routed request. scheduled_ns is the open-loop arrival deadline
 // relative to the service epoch (service_now_ns() clock); latency is
-// measured from it at completion.
+// measured from it at completion. ctx/request_id are opaque words the
+// completion hook echoes back — the network front end routes them as
+// (connection id, wire request id); in-process drivers leave them zero.
 struct Request {
   std::uint64_t key = 0;
   std::int64_t value = 0;  // written value (writes only)
   std::uint64_t scheduled_ns = 0;
+  std::uint64_t ctx = 0;
+  std::uint64_t request_id = 0;
   bool is_read = false;
+  bool wants_reply = false;  // invoke the completion hook for this request
+};
+
+// What the completion hook learns about one finished request: the opaque
+// routing words echoed verbatim, plus the protocol outcome (for reads,
+// the selected record — `found` false when no selection survived).
+struct Completion {
+  std::uint64_t ctx = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t key = 0;
+  std::int64_t value = 0;  // read: selected value; write: written value
+  bool is_read = false;
+  bool found = false;  // read: selection nonempty; write: always true
 };
 
 // The deterministic per-shard outcome counters: everything here is a pure
@@ -94,6 +112,13 @@ class KvService {
     std::uint64_t seed = 1;  // shard s cluster seed derives from this
   };
 
+  // Called from the owning worker thread after a request's protocol work
+  // and latency record are done — the submission/completion seam the
+  // network front end plugs into. The handler must not block (it runs in
+  // the shard-serving hot loop); it fires only for requests that set
+  // wants_reply, so pure in-process drivers pay nothing.
+  using CompletionHandler = std::function<void(const Completion&)>;
+
   explicit KvService(Config config);
   ~KvService();
 
@@ -104,6 +129,12 @@ class KvService {
     return static_cast<std::uint32_t>(shards_.size());
   }
   std::uint32_t workers() const { return config_.workers; }
+  bool running() const { return running_; }
+
+  // Installs (or clears, with nullptr) the completion hook. Only while
+  // stopped: worker threads read the handler unsynchronized, so the
+  // start() thread launch is what publishes it.
+  void set_completion(CompletionHandler handler);
 
   // Which shard serves `key` — a pure function of the key (SplitMix64
   // finalizer, then a multiply-shift range reduction).
@@ -169,6 +200,7 @@ class KvService {
   void process(Shard& shard, const Request& request);
 
   Config config_;
+  CompletionHandler completion_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/require.h"
+
 namespace pqs::stats {
 
 std::size_t LatencyHistogram::index_of(std::uint64_t value) {
@@ -53,6 +55,26 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
   max_ = std::max(max_, other.max_);
+}
+
+LatencyHistogram histogram_delta(const LatencyHistogram& before,
+                                 const LatencyHistogram& after) {
+  LatencyHistogram delta;
+  std::size_t top = LatencyHistogram::kBucketCount;  // past-the-end = none
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    PQS_REQUIRE(after.counts_[i] >= before.counts_[i],
+                "histogram_delta: `after` must dominate `before`");
+    delta.counts_[i] = after.counts_[i] - before.counts_[i];
+    if (delta.counts_[i] > 0) top = i;
+  }
+  delta.total_ = after.total_ - before.total_;
+  if (delta.total_ > 0) {
+    const std::uint64_t bucket_top =
+        LatencyHistogram::bucket_low(top) +
+        (LatencyHistogram::bucket_width(top) - 1);
+    delta.max_ = std::min(bucket_top, after.max_);
+  }
+  return delta;
 }
 
 }  // namespace pqs::stats

@@ -66,9 +66,27 @@ class LatencyHistogram {
   static std::uint64_t bucket_width(std::size_t index);
 
  private:
+  friend LatencyHistogram histogram_delta(const LatencyHistogram& before,
+                                          const LatencyHistogram& after);
+
   std::array<std::uint64_t, kBucketCount> counts_;
   std::uint64_t total_ = 0;
   std::uint64_t max_ = 0;
 };
+
+// Elementwise difference of two snapshots of the *same* accumulating
+// histogram taken at two points in time: what was recorded between them
+// (the latency-histogram mirror of stats::snapshot_delta). Counts are
+// monotone, so `after` must dominate `before` bucket by bucket (checked).
+// This is how offered-load sweep points report their own percentiles off
+// one live deployment without a reset_latency barrier between points.
+//
+// The one lossy field is the maximum: an exact per-interval max is not
+// recoverable from two cumulative snapshots, so the delta's max is the
+// interval's top nonempty bucket clamped to `after`'s observed max —
+// within one bucket width (~3% relative) of the true interval max, and
+// never above a sample the deployment really recorded.
+LatencyHistogram histogram_delta(const LatencyHistogram& before,
+                                 const LatencyHistogram& after);
 
 }  // namespace pqs::stats

@@ -136,5 +136,54 @@ TEST(LatencyHistogram, TopBucketSaturatesInsteadOfOverflowing) {
   EXPECT_GE(h.value_at_percentile(100.0), 1ULL << 63);
 }
 
+TEST(LatencyHistogram, DeltaIsTheIntervalsOwnRecording) {
+  // Record phase 1, snapshot, record phase 2: the delta of the two
+  // cumulative snapshots must equal a histogram that saw only phase 2 —
+  // bucket for bucket, count for count (the mirror of snapshot_delta).
+  LatencyHistogram cumulative;
+  for (std::uint64_t v : {3u, 70u, 900u, 900u, 12345u}) cumulative.record(v);
+  const LatencyHistogram before = cumulative;
+
+  LatencyHistogram phase2_only;
+  for (std::uint64_t v : {5u, 70u, 4096u, 100000u}) {
+    cumulative.record(v);
+    phase2_only.record(v);
+  }
+  const LatencyHistogram delta = histogram_delta(before, cumulative);
+  EXPECT_EQ(delta.count(), phase2_only.count());
+  EXPECT_EQ(delta.p50(), phase2_only.p50());
+  EXPECT_EQ(delta.p99(), phase2_only.p99());
+  EXPECT_EQ(delta.value_at_percentile(100.0),
+            phase2_only.value_at_percentile(100.0));
+  // The interval max is bucket-quantized (cumulative snapshots cannot
+  // recover it exactly): within one bucket of the true max, never above
+  // a recorded sample.
+  EXPECT_GE(delta.max(), 100000u - LatencyHistogram::bucket_width(
+                                       LatencyHistogram::index_of(100000u)));
+  EXPECT_LE(delta.max(), cumulative.max());
+}
+
+TEST(LatencyHistogram, DeltaOfIdenticalSnapshotsIsEmpty) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v * 17);
+  const LatencyHistogram delta = histogram_delta(h, h);
+  EXPECT_EQ(delta.count(), 0u);
+  EXPECT_EQ(delta.max(), 0u);
+  EXPECT_EQ(delta.p99(), 0u);
+}
+
+TEST(LatencyHistogram, DeltaMaxClampsToTheAfterSnapshotsObservedMax) {
+  // Phase 2's top sample lands in the same bucket as phase 1's global
+  // max: the clamp keeps the reported max at the real observed maximum
+  // instead of the bucket's upper edge.
+  LatencyHistogram cumulative;
+  cumulative.record(5000);
+  const LatencyHistogram before = cumulative;
+  cumulative.record(4999);
+  const LatencyHistogram delta = histogram_delta(before, cumulative);
+  EXPECT_EQ(delta.count(), 1u);
+  EXPECT_LE(delta.max(), cumulative.max());
+}
+
 }  // namespace
 }  // namespace pqs::stats

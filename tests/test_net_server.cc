@@ -1,0 +1,264 @@
+// net::KvServer + net::Client — the TCP front end end to end over
+// loopback.
+//
+// These are tier-1 tests (ASan/UBSan and TSan jobs run them), so they
+// double as race checks for the epoll loops, the worker→IO completion
+// handoff, and the client's reader threads. The load-bearing contract is
+// the tentpole gate in miniature: with a single client connection the
+// per-shard deterministic aggregates observed through the socket path
+// must be bit-identical across service worker counts and draw paths.
+// The rest pins down GET/PUT semantics, out-of-order response matching
+// under pipelining, the inline STATS opcode, and that garbage on the
+// wire closes the connection instead of wedging the server.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/kv_server.h"
+#include "quorum/threshold.h"
+#include "serve/kv_service.h"
+#include "workload/open_loop.h"
+
+namespace pqs::net {
+namespace {
+
+std::shared_ptr<const quorum::QuorumSystem> majority(std::uint32_t n = 15) {
+  return std::make_shared<quorum::ThresholdSystem>(
+      quorum::ThresholdSystem::majority(n));
+}
+
+serve::KvService::Config service_config(std::uint32_t shards,
+                                        std::uint32_t workers,
+                                        replica::DrawPath path) {
+  serve::KvService::Config cfg;
+  cfg.shards = shards;
+  cfg.workers = workers;
+  cfg.queue_capacity = 256;
+  cfg.quorums = majority();
+  cfg.draw_path = path;
+  cfg.seed = 99;
+  return cfg;
+}
+
+// One server deployment driven over loopback by one pipelined
+// connection; returns the service's per-shard aggregates.
+std::vector<serve::ShardAggregate> run_over_socket(std::uint32_t workers,
+                                                   replica::DrawPath path,
+                                                   std::uint32_t io_threads,
+                                                   std::uint64_t ops) {
+  serve::KvService service(service_config(4, workers, path));
+  KvServer::Config server_cfg;
+  server_cfg.io_threads = io_threads;
+  KvServer server(server_cfg, service);
+  server.start();
+  service.start();
+
+  Client::Config client_cfg;
+  client_cfg.port = server.port();
+  client_cfg.connections = 1;
+  Client client(client_cfg);
+  client.start();
+
+  workload::OpenLoopSpec spec;
+  spec.keys = 64;
+  spec.zipf_exponent = 0.99;
+  workload::OpenLoopGenerator gen(spec, 321);
+  workload::Operation op;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    gen.next(op);
+    client.send(op.key, op.value, op.is_read, client.now_ns());
+  }
+  client.drain();
+  EXPECT_EQ(client.received(), ops);
+  EXPECT_EQ(client.histogram().count(), ops);
+  client.stop();
+
+  service.stop_and_drain();
+  server.stop();
+  return service.aggregates();
+}
+
+TEST(KvServer, PutThenGetRoundTripsTheValue) {
+  serve::KvService service(
+      service_config(2, 1, replica::DrawPath::kMask));
+  KvServer server(KvServer::Config{}, service);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  service.start();
+
+  Client::Config cfg;
+  cfg.port = server.port();
+  Client client(cfg);
+  client.start();
+  client.send(/*key=*/7, /*value=*/1234, /*is_read=*/false, client.now_ns());
+  client.drain();
+  client.send(/*key=*/7, /*value=*/0, /*is_read=*/true, client.now_ns());
+  client.send(/*key=*/8, /*value=*/0, /*is_read=*/true, client.now_ns());
+  client.drain();
+
+  EXPECT_EQ(client.sent(), 3u);
+  EXPECT_EQ(client.received(), 3u);
+  // Majority quorums always intersect: key 7 reads back its write, key 8
+  // was never written.
+  EXPECT_EQ(client.reads_found(), 1u);
+  EXPECT_EQ(client.reads_empty(), 1u);
+  client.stop();
+
+  service.stop_and_drain();
+  EXPECT_EQ(service.fold_aggregates().writes, 1u);
+  EXPECT_EQ(service.fold_aggregates().reads, 2u);
+  EXPECT_EQ(server.ops_submitted(), 3u);
+  server.stop();
+}
+
+TEST(KvServer, AggregatesBitIdenticalAcrossWorkersAndDrawPathsOverTcp) {
+  constexpr std::uint64_t kOps = 2000;
+  using replica::DrawPath;
+  const auto base = run_over_socket(1, DrawPath::kMask, 1, kOps);
+  ASSERT_EQ(base.size(), 4u);
+  EXPECT_EQ(base, run_over_socket(4, DrawPath::kMask, 1, kOps));
+  EXPECT_EQ(base, run_over_socket(4, DrawPath::kAllocating, 1, kOps));
+  // More IO threads change nothing either: one connection still decodes
+  // on one thread, in wire order.
+  EXPECT_EQ(base, run_over_socket(2, DrawPath::kMask, 2, kOps));
+}
+
+TEST(KvServer, PipelinedResponsesMatchOutOfOrderCompletions) {
+  // 8 shards × 4 workers: completions interleave across shards, so
+  // responses come back out of send order and only the request_id echo
+  // can pair them. The client asserts every response matches a pending
+  // request (a mismatch fails the connection).
+  serve::KvService service(
+      service_config(8, 4, replica::DrawPath::kMask));
+  KvServer::Config server_cfg;
+  server_cfg.io_threads = 2;
+  KvServer server(server_cfg, service);
+  server.start();
+  service.start();
+
+  Client::Config cfg;
+  cfg.port = server.port();
+  cfg.connections = 2;
+  cfg.window = 64;
+  Client client(cfg);
+  client.start();
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const bool read = (i % 3) == 0;
+    client.send(i % 97, static_cast<std::int64_t>(i), read, client.now_ns());
+  }
+  client.drain();
+  EXPECT_EQ(client.received(), 4000u);
+  client.stop();
+  service.stop_and_drain();
+  const serve::ShardAggregate fold = service.fold_aggregates();
+  EXPECT_EQ(fold.reads + fold.writes, 4000u);
+  server.stop();
+}
+
+TEST(KvServer, StatsOpcodeAnsweredInlineFromTheIoThread) {
+  serve::KvService service(
+      service_config(1, 1, replica::DrawPath::kMask));
+  KvServer server(KvServer::Config{}, service);
+  server.start();
+  service.start();
+
+  Client::Config cfg;
+  cfg.port = server.port();
+  Client client(cfg);
+  client.start();
+  client.send(1, 11, false, client.now_ns());
+  client.send(2, 22, false, client.now_ns());
+  client.drain();
+  client.stop();
+
+  // Raw socket: a STATS request frame, answered without a service round
+  // trip (ops_submitted counts only GET/PUT).
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  Frame req;
+  req.op = Op::kStats;
+  req.request_id = 77;
+  unsigned char wire[kFrameBytes];
+  encode_frame(req, wire);
+  ASSERT_EQ(::send(fd, wire, kFrameBytes, 0),
+            static_cast<ssize_t>(kFrameBytes));
+
+  FrameDecoder decoder;
+  Frame reply;
+  for (;;) {
+    unsigned char buf[kFrameBytes];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    const FrameDecoder::Result r = decoder.next(reply);
+    if (r == FrameDecoder::Result::kFrame) break;
+    ASSERT_EQ(r, FrameDecoder::Result::kNeedMore);
+  }
+  EXPECT_EQ(reply.op, Op::kStats);
+  EXPECT_TRUE(reply.response);
+  EXPECT_EQ(reply.request_id, 77u);
+  EXPECT_EQ(reply.value, 2);  // the two PUTs
+  EXPECT_EQ(server.stats_served(), 1u);
+  ::close(fd);
+
+  service.stop_and_drain();
+  server.stop();
+}
+
+TEST(KvServer, GarbageBytesCloseTheConnectionNotTheServer) {
+  serve::KvService service(
+      service_config(1, 1, replica::DrawPath::kMask));
+  KvServer server(KvServer::Config{}, service);
+  server.start();
+  service.start();
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "this is not a frame at all, not even close";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage), 0), 0);
+  // The server condemns the stream and closes; the read drains to EOF.
+  char buf[64];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);
+  EXPECT_GE(server.protocol_errors(), 1u);
+  ::close(fd);
+
+  // The listener survived: a well-formed client still gets service.
+  Client::Config cfg;
+  cfg.port = server.port();
+  Client client(cfg);
+  client.start();
+  client.send(5, 55, false, client.now_ns());
+  client.drain();
+  EXPECT_EQ(client.received(), 1u);
+  client.stop();
+
+  service.stop_and_drain();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pqs::net

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# clang-format conformance check over the code this repo owns.
+#
+#   tools/check_format.sh          # report files that would be reformatted
+#   tools/check_format.sh --fix    # rewrite them in place instead
+#
+# Exits nonzero (without --fix) when any file differs from the committed
+# .clang-format style, printing a unified diff per offender. The CI
+# format-check job currently runs this non-blocking; once the tree gets
+# its one-time bulk reformat, the job flips to blocking and this script's
+# exit code becomes the gate.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "check_format.sh: clang-format not found (set CLANG_FORMAT=...)" >&2
+  exit 2
+fi
+
+fix=0
+if [ "${1:-}" = "--fix" ]; then
+  fix=1
+fi
+
+status=0
+checked=0
+offenders=0
+while IFS= read -r file; do
+  checked=$((checked + 1))
+  if [ "$fix" = 1 ]; then
+    "$CLANG_FORMAT" -i "$file"
+  elif ! diff -u --label "$file" --label "$file (formatted)" \
+        "$file" <("$CLANG_FORMAT" "$file"); then
+    offenders=$((offenders + 1))
+    status=1
+  fi
+done < <(find src tests bench -name '*.cc' -o -name '*.h' | sort)
+
+if [ "$fix" = 1 ]; then
+  echo "check_format.sh: reformatted $checked files in place"
+elif [ "$status" = 0 ]; then
+  echo "check_format.sh: $checked files clean"
+else
+  echo "check_format.sh: $offenders of $checked files need formatting" \
+       "(run tools/check_format.sh --fix)" >&2
+fi
+exit "$status"
