@@ -1,0 +1,147 @@
+#include "core/timed_epsilon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "math/combinatorics.h"
+#include "math/hypergeometric.h"
+#include "util/require.h"
+
+namespace pqs::core {
+
+namespace {
+
+// P(miss | d distinct slots replaced): X = |Q_w ∩ replaced| ~ H(d; n, q),
+// and given X = x the read quorum must avoid the q - x surviving write
+// members: C(n - (q - x), q) / C(n, q). Log-domain sum over the support.
+double miss_given_replaced(std::int64_t n, std::int64_t q, std::int64_t d) {
+  const auto hyp = math::make_hypergeometric(n, d, q);
+  const double log_cnq = math::log_choose(n, q);
+  double acc = math::kNegInf;
+  for (std::int64_t x = hyp.support_min(); x <= hyp.support_max(); ++x) {
+    acc = math::log_add(
+        acc, hyp.log_pmf(x) + math::log_choose(n - q + x, q) - log_cnq);
+  }
+  return math::exp_probability(acc);
+}
+
+// One churn event on the distinct-replaced-count distribution `p`
+// (p[d] = P(D = d), valid up to index `dmax`): the event hits an
+// already-replaced slot with probability d/n, a fresh one with
+// probability (n-d)/n, so
+//   p'[d] = p[d] * d/n + p[d-1] * (n-d+1)/n.
+// Returns the new dmax. Descending order keeps p[d-1] pre-step.
+std::int64_t occupancy_step(std::vector<double>& p, std::int64_t dmax,
+                            std::int64_t n) {
+  const auto nd = static_cast<double>(n);
+  const std::int64_t top = std::min<std::int64_t>(dmax + 1, n);
+  if (top >= static_cast<std::int64_t>(p.size())) p.resize(top + 1, 0.0);
+  for (std::int64_t d = top; d >= 0; --d) {
+    const double stay = p[d] * (static_cast<double>(d) / nd);
+    const double grow =
+        d > 0 ? p[d - 1] * (static_cast<double>(n - d + 1) / nd) : 0.0;
+    p[d] = stay + grow;
+  }
+  return top;
+}
+
+// Lazily-extended cache of miss_given_replaced over d.
+class MissCache {
+ public:
+  MissCache(std::int64_t n, std::int64_t q) : n_(n), q_(q) {}
+  double at(std::int64_t d) {
+    while (static_cast<std::int64_t>(values_.size()) <= d) {
+      values_.push_back(miss_given_replaced(
+          n_, q_, static_cast<std::int64_t>(values_.size())));
+    }
+    return values_[d];
+  }
+
+ private:
+  std::int64_t n_;
+  std::int64_t q_;
+  std::vector<double> values_;
+};
+
+}  // namespace
+
+double timed_epsilon_events(std::int64_t n, std::int64_t q,
+                            std::int64_t events) {
+  PQS_REQUIRE(n >= 1 && q >= 1 && q <= n, "timed epsilon parameters");
+  PQS_REQUIRE(events >= 0, "negative churn event count");
+  std::vector<double> p(1, 1.0);
+  std::int64_t dmax = 0;
+  for (std::int64_t e = 0; e < events; ++e) dmax = occupancy_step(p, dmax, n);
+  MissCache miss(n, q);
+  double eps = 0.0;
+  for (std::int64_t d = 0; d <= dmax; ++d) {
+    if (p[d] > 0.0) eps += p[d] * miss.at(d);
+  }
+  return std::min(eps, 1.0);
+}
+
+double estimate_timed_epsilon(std::int64_t n, std::int64_t q, double lambda,
+                              double staleness) {
+  PQS_REQUIRE(n >= 1 && q >= 1 && q <= n, "timed epsilon parameters");
+  PQS_REQUIRE(lambda >= 0.0 && staleness >= 0.0, "churn rate / staleness");
+  const double mu = lambda * staleness;
+  if (mu == 0.0) return timed_epsilon_events(n, q, 0);
+  // Mix eps over K ~ Poisson(mu) churn events, advancing the occupancy
+  // distribution one event at a time so the whole mixture costs one DP
+  // sweep. Poisson weights are computed per-term in log domain (exp(-mu)
+  // alone underflows past mu ~ 700). Truncate once the mode is passed and
+  // the residual Poisson mass is < 1e-12 — eps <= 1 bounds the error by
+  // the same 1e-12.
+  std::vector<double> p(1, 1.0);
+  std::int64_t dmax = 0;
+  MissCache miss(n, q);
+  const double log_mu = std::log(mu);
+  double eps = 0.0;
+  double mass = 0.0;
+  // Hard cap far past the mode, in case of floating-point mass leakage.
+  const std::int64_t cap =
+      static_cast<std::int64_t>(mu + 60.0 * std::sqrt(mu + 1.0)) + 60;
+  for (std::int64_t k = 0; k <= cap; ++k) {
+    if (k > 0) dmax = occupancy_step(p, dmax, n);
+    double eps_k = 0.0;
+    for (std::int64_t d = 0; d <= dmax; ++d) {
+      if (p[d] > 0.0) eps_k += p[d] * miss.at(d);
+    }
+    const double log_w =
+        -mu + static_cast<double>(k) * log_mu - math::log_factorial(k);
+    const double w = std::exp(log_w);
+    eps += w * eps_k;
+    mass += w;
+    if (static_cast<double>(k) >= mu && 1.0 - mass < 1e-12) break;
+  }
+  return std::min(eps, 1.0);
+}
+
+double timed_quorum_lifetime(std::int64_t n, std::int64_t q, double lambda,
+                             double target) {
+  PQS_REQUIRE(lambda > 0.0, "lifetime needs a positive churn rate");
+  PQS_REQUIRE(target > 0.0 && target < 1.0, "lifetime target");
+  if (estimate_timed_epsilon(n, q, lambda, 0.0) > target) return 0.0;
+  // Doubling to bracket, then bisection. estimate_timed_epsilon is
+  // monotone in staleness (more expected churn can only lose more of the
+  // write quorum).
+  double lo = 0.0;
+  double hi = 1.0 / lambda;
+  while (estimate_timed_epsilon(n, q, lambda, hi) <= target) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e12 / lambda) return lo;  // target unreachable in practice
+  }
+  for (int i = 0; i < 60 && (hi - lo) > 1e-6 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (estimate_timed_epsilon(n, q, lambda, mid) <= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace pqs::core

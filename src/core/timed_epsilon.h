@@ -1,0 +1,63 @@
+// Timed epsilon: intersection failure under churn (timed quorum systems).
+//
+// The paper proves eps-intersection for R(n, q) over a fixed universe.
+// Gramoli & Raynal's timed quorum model (PAPERS.md: "Timed Quorum System
+// for Large-Scale and Dynamic Environments") asks what survives churn: a
+// write quorum probed at time t intersects a read quorum drawn at time
+// t + Δ only through the write-quorum members still alive at t + Δ, so the
+// intersection probability decays with the churn the view ages through —
+// quorums have a *lifetime* over which eps stays below target.
+//
+// Our deployed churn model (replica::InstantCluster::churn_replace) keeps
+// the fleet size constant at n: each event replaces one uniformly random
+// live slot with a fresh, empty server. A read misses the write iff the
+// read quorum intersects the write quorum only in replaced slots. This
+// module computes that probability exactly:
+//
+//   * timed_epsilon_events(n, q, k): eps after exactly k replacement
+//     events. The number D of *distinct* write-universe slots replaced by
+//     k uniform events follows the occupancy recurrence
+//         p'[d] = p[d] * d/n + p[d-1] * (n-d+1)/n,
+//     and conditioned on D = d the miss probability is
+//         sum_x H(x; n, d, q) * C(n-q+x, q) / C(n, q)
+//     — X = |Q_w ∩ replaced| is hypergeometric, and the read quorum must
+//     avoid the q - x surviving write members. k = 0 reduces to the
+//     paper's exact eps = C(n-q, q)/C(n, q).
+//
+//   * estimate_timed_epsilon(n, q, lambda, staleness): the Poisson
+//     mixture over k ~ Poisson(lambda * staleness) — eps as a function of
+//     churn *rate* and view *staleness*, the estimator the conformance
+//     suite (test_timed_epsilon) and bench/churn_throughput validate
+//     against the deployed stack.
+//
+//   * timed_quorum_lifetime(n, q, lambda, target): the largest staleness
+//     Δ with estimate_timed_epsilon(n, q, lambda, Δ) <= target — the
+//     Gramoli-Raynal lifetime bound for this construction.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::core {
+
+// Exact P(read misses write) after exactly `events` uniform in-place
+// replacements on an n-slot fleet, write and read quorums both uniform
+// q-subsets. Monotone nondecreasing in `events`; events = 0 gives
+// nonintersection_exact(n, q).
+double timed_epsilon_events(std::int64_t n, std::int64_t q,
+                            std::int64_t events);
+
+// Poisson(lambda * staleness) mixture of timed_epsilon_events: the timed
+// epsilon at churn rate `lambda` (events per unit time, > 0 unless
+// staleness is 0) and view staleness `staleness` (time units, >= 0). The
+// tail of the Poisson mixture is truncated once the remaining mass is
+// < 1e-12 (epsilon is <= 1, so the truncation error is below 1e-12).
+double estimate_timed_epsilon(std::int64_t n, std::int64_t q, double lambda,
+                              double staleness);
+
+// Largest staleness Δ such that estimate_timed_epsilon(n, q, lambda, Δ)
+// <= target, found by doubling + bisection (relative precision ~1e-6).
+// Returns 0 when even Δ = 0 misses the target (eps_0 > target).
+double timed_quorum_lifetime(std::int64_t n, std::int64_t q, double lambda,
+                             double target);
+
+}  // namespace pqs::core

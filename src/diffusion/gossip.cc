@@ -26,7 +26,14 @@ RoundStats GossipEngine::run_round(
   peer_words_.assign((static_cast<std::size_t>(n) - 1 + 63) / 64, 0);
   for (auto& sender : servers) {
     const auto records = sender->gossip_records();
-    if (records.empty()) continue;
+    // Views ride the same peer draw as records. Only correct servers push
+    // views (crash-fault membership diffusion; Byzantine view poisoning is
+    // out of scope until views carry MACs), and the empty default view is
+    // never pushed — so a sender with no records and no view skips the
+    // draw entirely, preserving the pre-view rng streams.
+    const bool push_view = sender->mode() == replica::FaultMode::kCorrect &&
+                           sender->membership().capacity() != 0;
+    if (records.empty() && !push_view) continue;
     // Pick fanout distinct peers other than the sender, drawn straight into
     // the reusable word scratch (same subset and rng stream as the former
     // per-round vector draw; ascending bit order matches the sorted vector).
@@ -43,6 +50,12 @@ RoundStats GossipEngine::run_round(
         if (p >= sender_id) ++p;  // skip self
         replica::Server& receiver = *servers[p];
         if (receiver.mode() != replica::FaultMode::kCorrect) continue;
+        if (push_view) {
+          ++stats.view_pushes;
+          if (receiver.merge_membership(sender->membership())) {
+            ++stats.view_adoptions;
+          }
+        }
         for (const auto& record : records) {
           ++stats.pushes;
           if (config_.verify && !verifier_->verify(record)) {
@@ -66,6 +79,8 @@ RoundStats GossipEngine::run_rounds(
     total.pushes += r.pushes;
     total.adoptions += r.adoptions;
     total.rejected += r.rejected;
+    total.view_pushes += r.view_pushes;
+    total.view_adoptions += r.view_adoptions;
   }
   return total;
 }
@@ -83,6 +98,24 @@ double GossipEngine::coverage(
   }
   if (correct == 0) return 0.0;
   return static_cast<double>(fresh) / static_cast<double>(correct);
+}
+
+double GossipEngine::view_agreement(
+    const std::vector<std::unique_ptr<replica::Server>>& servers) {
+  quorum::MembershipView supremum;
+  std::uint32_t correct = 0;
+  for (const auto& s : servers) {
+    if (s->mode() != replica::FaultMode::kCorrect) continue;
+    ++correct;
+    supremum.merge(s->membership());
+  }
+  if (correct == 0) return 0.0;
+  std::uint32_t agreeing = 0;
+  for (const auto& s : servers) {
+    if (s->mode() != replica::FaultMode::kCorrect) continue;
+    if (s->membership().equals(supremum)) ++agreeing;
+  }
+  return static_cast<double>(agreeing) / static_cast<double>(correct);
 }
 
 }  // namespace pqs::diffusion

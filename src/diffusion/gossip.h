@@ -10,6 +10,14 @@
 // uniformly random peers; correct receivers adopt records with higher
 // timestamps. In Byzantine-safe mode ([MMR99]) a record is adopted only if
 // its writer MAC verifies, so faulty servers cannot poison the epidemic.
+//
+// The same rounds diffuse dynamic-membership views: a correct sender with a
+// non-empty MembershipView pushes it to the same peers, and correct
+// receivers lattice-join it (Server::merge_membership) — views converge to
+// the supremum along any gossip order, so a reconfiguration installed at
+// one server epidemically reaches the fleet. Servers with the default empty
+// view push nothing, which keeps static deployments' rng streams exactly as
+// before views existed.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +38,11 @@ struct GossipConfig {
 };
 
 struct RoundStats {
-  std::uint64_t pushes = 0;     // record transmissions attempted
-  std::uint64_t adoptions = 0;  // records accepted as fresher
-  std::uint64_t rejected = 0;   // records dropped by verification
+  std::uint64_t pushes = 0;          // record transmissions attempted
+  std::uint64_t adoptions = 0;       // records accepted as fresher
+  std::uint64_t rejected = 0;        // records dropped by verification
+  std::uint64_t view_pushes = 0;     // membership views transmitted
+  std::uint64_t view_adoptions = 0;  // views that advanced the receiver
 };
 
 class GossipEngine {
@@ -53,6 +63,12 @@ class GossipEngine {
   static double coverage(
       const std::vector<std::unique_ptr<replica::Server>>& servers,
       replica::VariableId variable, std::uint64_t timestamp);
+
+  // Fraction of correct servers whose membership view equals the supremum
+  // (lattice join) of all correct servers' views — 1.0 means view
+  // diffusion has converged (the dual of coverage() for membership).
+  static double view_agreement(
+      const std::vector<std::unique_ptr<replica::Server>>& servers);
 
  private:
   GossipConfig config_;

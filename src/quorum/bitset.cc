@@ -224,6 +224,35 @@ void QuorumBitset::or_shifted(const std::uint64_t* src, std::size_t src_words,
   mask_padding();
 }
 
+void QuorumBitset::or_expand(const std::uint64_t* src, std::size_t src_words,
+                             const QuorumBitset& live) {
+  PQS_CHECK(n_ == live.n_);
+  // Compact rank of the first live bit in the current live word.
+  std::uint32_t rank = 0;
+  for (std::size_t wi = 0; wi < live.words_n_; ++wi) {
+    const std::uint64_t lw = live.words_[wi];
+    if (lw == 0) continue;
+    const std::uint32_t pc = popcount64(lw);
+    // Bits [rank, rank + pc) of src are the draws landing in this word.
+    const std::size_t sw = rank >> 6;
+    const std::uint32_t sb = rank & 63;
+    std::uint64_t chunk = sw < src_words ? src[sw] >> sb : 0;
+    if (sb != 0 && sw + 1 < src_words) chunk |= src[sw + 1] << (64 - sb);
+    if (pc < 64) chunk &= (1ULL << pc) - 1;
+    // Deposit chunk bit j onto the j-th set bit of lw (a scalar PDEP:
+    // each step consumes the lowest live bit and the lowest chunk slot).
+    std::uint64_t sel = lw;
+    std::uint64_t out = 0;
+    while (chunk != 0) {
+      if (chunk & 1) out |= sel & (~sel + 1);
+      sel &= sel - 1;
+      chunk >>= 1;
+    }
+    words_[wi] |= out;
+    rank += pc;
+  }
+}
+
 Quorum QuorumBitset::to_quorum() const {
   Quorum out;
   to_quorum_into(out);

@@ -79,6 +79,7 @@ class QuorumBitset {
   void clear();
 
   void set(ServerId u) { words_[u >> 6] |= 1ULL << (u & 63); }
+  void reset(ServerId u) { words_[u >> 6] &= ~(1ULL << (u & 63)); }
   bool test(ServerId u) const {
     return (words_[u >> 6] >> (u & 63)) & 1ULL;
   }
@@ -120,6 +121,15 @@ class QuorumBitset {
   // universe size (checked for nonzero source words).
   void or_shifted(const std::uint64_t* src, std::size_t src_words,
                   std::uint32_t offset);
+  // ORs `src` (src_words raw words over the compact rank universe
+  // [0, live.count())) into this bitset with compact bit r translated to
+  // the r-th set bit of `live` — or_shifted's sibling for *scattered*
+  // sub-universes: a draw over the live members of a MembershipView lands
+  // on the full slot universe without materializing a member list. `live`
+  // must share this universe; src bits at ranks >= live.count() must be
+  // zero (unchecked — sample_without_replacement_bits guarantees it).
+  void or_expand(const std::uint64_t* src, std::size_t src_words,
+                 const QuorumBitset& live);
 
   // Invokes fn(u) for every set bit u in ascending order — the one word
   // walk (ctz + clear-lowest-bit) every member-iterating caller shares. A

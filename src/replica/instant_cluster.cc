@@ -15,17 +15,66 @@ InstantCluster::InstantCluster(Config config, FaultPlan faults)
     : config_(std::move(config)),
       signer_(crypto::Signer::from_seed(config_.writer_key_seed)),
       verifier_(signer_.key()),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      churn_rng_(config_.churn_seed),
+      collude_(std::make_shared<const ColludePlan>()) {
   PQS_REQUIRE(config_.quorums != nullptr, "cluster needs a quorum system");
   const std::uint32_t n = config_.quorums->universe_size();
   PQS_REQUIRE(faults.size() == n, "fault plan size mismatch");
-  auto collude = std::make_shared<const ColludePlan>();
   servers_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     servers_.push_back(
-        std::make_unique<Server>(i, faults.mode(i), rng_.fork(), collude));
+        std::make_unique<Server>(i, faults.mode(i), rng_.fork(), collude_));
   }
   writer_seq_.assign(1u << 8, 0);
+  if (config_.dynamic_membership) {
+    const std::uint32_t live =
+        config_.initial_live == 0 ? n : config_.initial_live;
+    PQS_REQUIRE(live <= n, "initial_live exceeds slot capacity");
+    PQS_REQUIRE(live >= config_.quorums->min_quorum_size(),
+                "initial membership smaller than a quorum");
+    view_ = quorum::MembershipView(n, live);
+    for (auto& s : servers_) s->install_membership(view_);
+  }
+}
+
+void InstantCluster::fresh_server(quorum::ServerId slot) {
+  servers_[slot] =
+      std::make_unique<Server>(slot, FaultMode::kCorrect, churn_rng_.fork(),
+                               collude_);
+  servers_[slot]->install_membership(view_);
+}
+
+void InstantCluster::join(quorum::ServerId slot) {
+  PQS_REQUIRE(config_.dynamic_membership, "static membership");
+  view_.join(slot);
+  fresh_server(slot);
+}
+
+void InstantCluster::leave(quorum::ServerId slot) {
+  PQS_REQUIRE(config_.dynamic_membership, "static membership");
+  PQS_REQUIRE(view_.live_count() > config_.quorums->min_quorum_size(),
+              "leave would shrink membership below a quorum");
+  view_.leave(slot);
+}
+
+void InstantCluster::replace(quorum::ServerId victim,
+                             quorum::ServerId joiner) {
+  PQS_REQUIRE(config_.dynamic_membership, "static membership");
+  view_.replace(victim, joiner);
+  fresh_server(joiner);
+}
+
+quorum::ServerId InstantCluster::churn_replace() {
+  PQS_REQUIRE(config_.dynamic_membership, "static membership");
+  const auto victim = view_.nth_live(
+      static_cast<std::uint32_t>(churn_rng_.below(view_.live_count())));
+  replace(victim, victim);
+  return victim;
+}
+
+void InstantCluster::run_churn(std::uint32_t events) {
+  for (std::uint32_t i = 0; i < events; ++i) churn_replace();
 }
 
 std::uint64_t InstantCluster::next_timestamp(std::uint32_t writer) {
@@ -53,7 +102,14 @@ void InstantCluster::write_as_into(WriteResult& result, std::uint32_t writer,
                                    VariableId variable, std::int64_t value) {
   result.acks = 0;
   if (config_.draw_path == DrawPath::kMask) {
-    config_.quorums->sample_mask(draw_mask_, rng_);
+    if (config_.dynamic_membership) {
+      // R(live, q) over the current view. With every slot live this
+      // consumes the exact rng draws of the static sample_mask below.
+      view_.sample_live_mask(config_.quorums->min_quorum_size(), rng_,
+                             draw_mask_, compact_scratch_);
+    } else {
+      config_.quorums->sample_mask(draw_mask_, rng_);
+    }
     result.timestamp = next_timestamp(writer);
     const auto record =
         signer_.sign(variable, value, result.timestamp, writer);
@@ -64,7 +120,12 @@ void InstantCluster::write_as_into(WriteResult& result, std::uint32_t writer,
   } else {
     // The original flow, preserved verbatim for A/B measurement: allocating
     // draw, message dispatch through process() and its Outbound vectors.
-    result.quorum = config_.quorums->sample(rng_);
+    if (config_.dynamic_membership) {
+      view_.sample_live_into(config_.quorums->min_quorum_size(), rng_,
+                             result.quorum);
+    } else {
+      result.quorum = config_.quorums->sample(rng_);
+    }
     result.timestamp = next_timestamp(writer);
     const auto record =
         signer_.sign(variable, value, result.timestamp, writer);
@@ -88,7 +149,12 @@ void InstantCluster::read_into(ReadResult& result, VariableId variable) {
   result.repairs = 0;
   reply_scratch_.clear();
   if (config_.draw_path == DrawPath::kMask) {
-    config_.quorums->sample_mask(draw_mask_, rng_);
+    if (config_.dynamic_membership) {
+      view_.sample_live_mask(config_.quorums->min_quorum_size(), rng_,
+                             draw_mask_, compact_scratch_);
+    } else {
+      config_.quorums->sample_mask(draw_mask_, rng_);
+    }
     draw_mask_.for_each_set_bit([&](quorum::ServerId u) {
       ReadReply reply;
       if (servers_[u]->serve_read(ReadRequest{0, variable}, reply)) {
@@ -99,7 +165,12 @@ void InstantCluster::read_into(ReadResult& result, VariableId variable) {
     draw_mask_.to_quorum_into(result.quorum);
   } else {
     // Original flow kept for A/B (see write_as_into).
-    result.quorum = config_.quorums->sample(rng_);
+    if (config_.dynamic_membership) {
+      view_.sample_live_into(config_.quorums->min_quorum_size(), rng_,
+                             result.quorum);
+    } else {
+      result.quorum = config_.quorums->sample(rng_);
+    }
     for (auto u : result.quorum) {
       const auto out =
           servers_[u]->process(kClientId, ReadRequest{0, variable});

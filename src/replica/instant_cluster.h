@@ -14,6 +14,7 @@
 #include "crypto/mac.h"
 #include "math/rng.h"
 #include "quorum/bitset.h"
+#include "quorum/membership.h"
 #include "quorum/quorum_system.h"
 #include "replica/draw_path.h"
 #include "replica/fault.h"
@@ -49,6 +50,18 @@ class InstantCluster {
     // walks the bits; kAllocating keeps the original sample() flow for A/B
     // measurement. Same rng stream, bit-identical outcomes (draw_path.h).
     DrawPath draw_path = DrawPath::kMask;
+    // Dynamic membership (timed quorums). When set, the quorum system's
+    // universe becomes a fixed *slot capacity* and quorum draws become
+    // uniform q-subsets (q = quorums->min_quorum_size()) of the cluster's
+    // current MembershipView — R(live, q) over whoever is live right now,
+    // the regime of core/timed_epsilon.h. initial_live caps the starting
+    // membership to slots [0, initial_live) (0 means "all live"). Churn
+    // randomness comes from a dedicated generator seeded with churn_seed,
+    // so membership events never perturb the quorum-draw stream — with a
+    // full live view, draws are bit-identical to the static system's.
+    bool dynamic_membership = false;
+    std::uint32_t initial_live = 0;
+    std::uint64_t churn_seed = 0xc4a84e11u;
   };
 
   // All servers correct.
@@ -94,6 +107,31 @@ class InstantCluster {
   // observability face of the multi-writer contention experiments).
   stats::ContentionSnapshot contention_snapshot() const;
 
+  // --- Dynamic membership (config.dynamic_membership only) ---
+  //
+  // The cluster holds the authoritative MembershipView its clients draw
+  // quorums from; every change bumps the view epoch by one and installs
+  // the new view on the affected server (diffusion to the rest of the
+  // fleet is gossip's job — see diffusion/GossipEngine::view_agreement).
+  // join activates a dead slot with a fresh empty server; leave retires a
+  // live slot (the Server object stays, but no longer receives draws);
+  // replace retires `victim` and activates `joiner` with a fresh server in
+  // one reconfiguration — victim == joiner is in-place slot reuse, the
+  // churn model of Gramoli-Raynal where the fleet size is constant but
+  // members (and their stored records) turn over.
+  const quorum::MembershipView& view() const { return view_; }
+  std::uint64_t view_epoch() const { return view_.epoch(); }
+  void join(quorum::ServerId slot);
+  void leave(quorum::ServerId slot);
+  void replace(quorum::ServerId victim, quorum::ServerId joiner);
+  // One churn event: a uniformly random live slot is replaced in place by
+  // a fresh server (drawn from the dedicated churn rng, never the quorum
+  // stream). Returns the replaced slot.
+  quorum::ServerId churn_replace();
+  // `events` consecutive churn_replace() steps.
+  void run_churn(std::uint32_t events);
+  math::Rng& churn_rng() { return churn_rng_; }
+
   Server& server(std::uint32_t id) { return *servers_.at(id); }
   const Server& server(std::uint32_t id) const { return *servers_.at(id); }
   std::vector<std::unique_ptr<Server>>& servers() { return servers_; }
@@ -104,13 +142,21 @@ class InstantCluster {
 
  private:
   std::uint64_t next_timestamp(std::uint32_t writer);
+  // Installs a fresh, empty, correct server into `slot` (rng forked from
+  // the churn stream) carrying the current view.
+  void fresh_server(quorum::ServerId slot);
 
   Config config_;
   crypto::Signer signer_;
   crypto::Verifier verifier_;
   math::Rng rng_;
+  math::Rng churn_rng_;
+  quorum::MembershipView view_;
+  std::shared_ptr<const ColludePlan> collude_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::uint64_t> writer_seq_;
+  // Compact-universe draw scratch for view-aware mask draws.
+  std::vector<std::uint64_t> compact_scratch_;
   // Per-instance draw and reply scratch: the quorum stays a mask while the
   // operation runs and is materialized into the result at the end.
   quorum::QuorumBitset draw_mask_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "math/rng.h"
+#include "quorum/membership.h"
 #include "replica/fault.h"
 #include "replica/message.h"
 #include "stats/counters.h"
@@ -80,6 +81,20 @@ class Server {
     gossip_verifier_ = std::move(verifier);
   }
 
+  // Dynamic membership: the server's current view of the fleet. The
+  // default view is empty (capacity 0, "not yet told") — gossip skips
+  // pushing it, so static deployments keep their exact rng streams.
+  // install_membership is the authoritative reconfiguration path (the
+  // cluster applying a change); merge_membership is the gossip path
+  // (lattice join, returns whether the view changed).
+  const quorum::MembershipView& membership() const { return membership_; }
+  void install_membership(const quorum::MembershipView& view) {
+    membership_ = view;
+  }
+  bool merge_membership(const quorum::MembershipView& view) {
+    return membership_.merge(view);
+  }
+
   std::uint64_t writes_accepted() const { return writes_accepted_; }
   std::uint64_t reads_served() const { return reads_served_; }
   // Writes this server acknowledged but did not adopt because it already
@@ -105,6 +120,7 @@ class Server {
   math::Rng rng_;
   std::shared_ptr<const ColludePlan> collude_plan_;
   std::optional<crypto::Verifier> gossip_verifier_;
+  quorum::MembershipView membership_;
   std::unordered_map<VariableId, crypto::SignedRecord> store_;
   // First record ever accepted per variable; what kStaleReplay serves.
   std::unordered_map<VariableId, crypto::SignedRecord> first_store_;

@@ -33,6 +33,9 @@ KvService::KvService(Config config) : config_(std::move(config)) {
     cluster_cfg.quorums = config_.quorums;
     cluster_cfg.seed = config_.seed + 0x51ed2701ULL * (s + 1);
     cluster_cfg.draw_path = config_.draw_path;
+    cluster_cfg.dynamic_membership = config_.dynamic_membership;
+    cluster_cfg.initial_live = config_.initial_live;
+    cluster_cfg.churn_seed = config_.seed + 0xc4a84e11ULL * (s + 1);
     shard->cluster =
         std::make_unique<replica::InstantCluster>(std::move(cluster_cfg));
     shard->accesses.assign(shard->cluster->universe_size(), 0);
@@ -84,6 +87,17 @@ void KvService::submit(const Request& request) {
   }
 }
 
+void KvService::submit_churn(std::uint32_t shard, ChurnKind kind,
+                             std::uint64_t arg) {
+  PQS_REQUIRE(config_.dynamic_membership, "static membership");
+  PQS_REQUIRE(kind != ChurnKind::kNone, "churn kind");
+  Request request;
+  request.key = arg;
+  request.churn = kind;
+  util::MpscRing<Request>& ring = shards_.at(shard)->ring;
+  while (!ring.try_push(request)) std::this_thread::yield();
+}
+
 void KvService::stop_and_drain() {
   PQS_REQUIRE(running_, "service not running");
   stopping_.store(true, std::memory_order_release);
@@ -98,6 +112,7 @@ void KvService::stop_and_drain() {
       checksum += (static_cast<std::uint64_t>(u) + 1) * shard->accesses[u];
     }
     shard->aggregate.access_checksum = checksum;
+    shard->aggregate.membership_epoch = shard->cluster->view_epoch();
   }
 }
 
@@ -146,6 +161,25 @@ void KvService::worker_loop(std::uint32_t worker) {
 
 void KvService::process(Shard& shard, const Request& request) {
   ShardAggregate& agg = shard.aggregate;
+  if (request.churn != ChurnKind::kNone) {
+    // Membership change at this FIFO position. No latency record, no
+    // completion — churn is control traffic, not a served request.
+    switch (request.churn) {
+      case ChurnKind::kReplace:
+        shard.cluster->churn_replace();
+        break;
+      case ChurnKind::kJoin:
+        shard.cluster->join(static_cast<quorum::ServerId>(request.key));
+        break;
+      case ChurnKind::kLeave:
+        shard.cluster->leave(static_cast<quorum::ServerId>(request.key));
+        break;
+      case ChurnKind::kNone:
+        break;
+    }
+    ++agg.churn_events;
+    return;
+  }
   if (request.is_read) {
     ++agg.reads;
     shard.cluster->read_into(shard.read_scratch, request.key);

@@ -44,19 +44,29 @@
 
 namespace pqs::serve {
 
+// Membership changes ride the shard rings as in-band requests, so a churn
+// event has a definite position in the shard's FIFO request subsequence —
+// which is exactly what keeps churned runs inside the bit-identity
+// contract: same subsequence, same aggregates, at any worker count and on
+// either draw path. kReplace turns over a uniformly random live slot
+// (drawn from the cluster's dedicated churn rng); kJoin/kLeave target the
+// slot in Request::key.
+enum class ChurnKind : std::uint8_t { kNone = 0, kReplace, kJoin, kLeave };
+
 // One routed request. scheduled_ns is the open-loop arrival deadline
 // relative to the service epoch (service_now_ns() clock); latency is
 // measured from it at completion. ctx/request_id are opaque words the
 // completion hook echoes back — the network front end routes them as
 // (connection id, wire request id); in-process drivers leave them zero.
 struct Request {
-  std::uint64_t key = 0;
+  std::uint64_t key = 0;  // churn requests: the slot argument
   std::int64_t value = 0;  // written value (writes only)
   std::uint64_t scheduled_ns = 0;
   std::uint64_t ctx = 0;
   std::uint64_t request_id = 0;
   bool is_read = false;
   bool wants_reply = false;  // invoke the completion hook for this request
+  ChurnKind churn = ChurnKind::kNone;
 };
 
 // What the completion hook learns about one finished request: the opaque
@@ -82,11 +92,19 @@ struct ShardAggregate {
   // Position-weighted per-server contact checksum (same shape as the
   // protocol harness): sum over servers of (u + 1) * contacts[u].
   std::uint64_t access_checksum = 0;
+  // Membership churn applied in-band on this shard, and the shard
+  // cluster's final view epoch (filled at stop_and_drain; 0 for static
+  // shards). Both are deterministic functions of the request subsequence,
+  // so they sit inside the bit-identity gate like everything else here.
+  std::uint64_t churn_events = 0;
+  std::uint64_t membership_epoch = 0;
 
   bool operator==(const ShardAggregate& o) const {
     return reads == o.reads && writes == o.writes &&
            stale_reads == o.stale_reads && empty_reads == o.empty_reads &&
-           access_checksum == o.access_checksum;
+           access_checksum == o.access_checksum &&
+           churn_events == o.churn_events &&
+           membership_epoch == o.membership_epoch;
   }
   ShardAggregate& operator+=(const ShardAggregate& o) {
     reads += o.reads;
@@ -94,6 +112,8 @@ struct ShardAggregate {
     stale_reads += o.stale_reads;
     empty_reads += o.empty_reads;
     access_checksum += o.access_checksum;
+    churn_events += o.churn_events;
+    membership_epoch += o.membership_epoch;
     return *this;
   }
 };
@@ -110,6 +130,13 @@ class KvService {
     std::shared_ptr<const quorum::QuorumSystem> quorums;
     replica::DrawPath draw_path = replica::DrawPath::kMask;
     std::uint64_t seed = 1;  // shard s cluster seed derives from this
+    // Dynamic membership on every shard cluster (see
+    // replica::InstantCluster::Config): the quorum system's universe
+    // becomes slot capacity, draws follow each shard's live view, and
+    // submit_churn becomes legal. Per-shard churn seeds derive from
+    // `seed`, so churned runs stay deterministic end to end.
+    bool dynamic_membership = false;
+    std::uint32_t initial_live = 0;  // 0 = all slots live
   };
 
   // Called from the owning worker thread after a request's protocol work
@@ -154,6 +181,14 @@ class KvService {
   // open-loop driver that outruns the service accrues scheduled-arrival
   // lag, which the latency histogram then reports as queueing delay).
   void submit(const Request& request);
+
+  // Enqueues a membership change on `shard` as an in-band request (spins
+  // like submit when the ring is full). `arg` is the slot for
+  // kJoin/kLeave and ignored for kReplace. The change applies at its
+  // FIFO position in the shard's request subsequence — between the
+  // requests submitted before and after it — so churned runs keep the
+  // bit-identity contract. Requires Config::dynamic_membership.
+  void submit_churn(std::uint32_t shard, ChurnKind kind, std::uint64_t arg = 0);
 
   // Flags shutdown, waits for every ring to drain, joins the workers.
   // All submits must have completed before the call. The service may be

@@ -154,6 +154,105 @@ TEST(KvService, ReadsBeforeAnyWriteCountAsEmptyNeverStale) {
   EXPECT_EQ(fold.stale_reads, 0u);
 }
 
+// Membership change under load: a shard's universe reconfigures mid-sweep
+// (join, then leave, as in-band churn requests) while the single producer
+// keeps writing and reading. Drain stays exactly-once — every *served*
+// request lands in the histogram and the aggregates, churn in neither —
+// and read-your-writes holds across both epoch bumps: with a 9-of-17
+// majority over capacity 17 and 16 slots initially live, every read
+// quorum deterministically intersects every surviving write quorum
+// (9 + 9 > 17 while the joiner is live, 9 + 8 > 16 after it leaves), so
+// no read is ever stale or empty.
+TEST(KvService, MembershipChangeUnderLoadKeepsReadYourWrites) {
+  KvService::Config cfg = base_config(1, 1, replica::DrawPath::kMask);
+  cfg.quorums = majority(17);
+  cfg.dynamic_membership = true;
+  cfg.initial_live = 16;  // slot 16 starts dead, ready to join
+  KvService service(cfg);
+  Request req;
+  service.start();
+  auto write = [&](std::uint64_t key) {
+    req.key = key;
+    req.value = static_cast<std::int64_t>(key) + 1000;
+    req.is_read = false;
+    service.submit(req);
+  };
+  auto read = [&](std::uint64_t key) {
+    req.key = key;
+    req.is_read = true;
+    service.submit(req);
+  };
+  for (std::uint64_t key = 0; key < 20; ++key) write(key);
+  service.submit_churn(0, ChurnKind::kJoin, 16);  // epoch 1, live 17
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    write(20 + key);
+    read(key);  // written before the join
+    read(20 + key);
+  }
+  service.submit_churn(0, ChurnKind::kLeave, 16);  // epoch 2, live 16
+  for (std::uint64_t key = 0; key < 40; ++key) read(key);
+  service.stop_and_drain();
+
+  const ShardAggregate fold = service.fold_aggregates();
+  EXPECT_EQ(fold.writes, 40u);
+  EXPECT_EQ(fold.reads, 80u);
+  EXPECT_EQ(fold.churn_events, 2u);
+  EXPECT_EQ(fold.membership_epoch, 2u);
+  // Read-your-writes across the view changes: deterministic intersection.
+  EXPECT_EQ(fold.stale_reads, 0u);
+  EXPECT_EQ(fold.empty_reads, 0u);
+  // Exactly-once drain: served requests in the histogram, churn excluded.
+  EXPECT_EQ(service.merged_histogram().count(), 120u);
+}
+
+// The bit-identity contract survives churn: a fixed interleaving of
+// requests and in-band kReplace events (single producer, so every shard's
+// subsequence is fixed) yields identical aggregates — churn_events and
+// final epochs included — across worker counts and draw paths.
+TEST(KvService, ChurnedAggregatesBitIdenticalAcrossWorkersAndPaths) {
+  constexpr std::uint64_t kOps = 3000;
+  using replica::DrawPath;
+  auto run = [&](std::uint32_t workers, DrawPath path) {
+    KvService::Config cfg = base_config(4, workers, path);
+    cfg.dynamic_membership = true;
+    KvService service(cfg);
+    workload::OpenLoopSpec spec;
+    spec.keys = 64;
+    spec.zipf_exponent = 0.99;
+    workload::OpenLoopGenerator gen(spec, 123);
+    workload::Operation op;
+    Request req;
+    service.start();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      gen.next(op);
+      req.key = op.key;
+      req.value = op.value;
+      req.scheduled_ns = service.now_ns();
+      req.is_read = op.is_read;
+      service.submit(req);
+      // One replacement on a rotating shard every 100 requests.
+      if (i % 100 == 99) {
+        service.submit_churn(static_cast<std::uint32_t>((i / 100) % 4),
+                             ChurnKind::kReplace);
+      }
+    }
+    service.stop_and_drain();
+    return service.aggregates();
+  };
+  const auto base = run(1, DrawPath::kMask);
+  std::uint64_t churned = 0;
+  std::uint64_t epochs = 0;
+  for (const auto& a : base) {
+    churned += a.churn_events;
+    epochs += a.membership_epoch;
+  }
+  EXPECT_EQ(churned, kOps / 100);
+  EXPECT_EQ(epochs, kOps / 100);  // every event bumped its shard's epoch
+  EXPECT_EQ(base, run(2, DrawPath::kMask));
+  EXPECT_EQ(base, run(8, DrawPath::kMask));
+  EXPECT_EQ(base, run(2, DrawPath::kAllocating));
+}
+
 TEST(KvService, ResetLatencyClearsHistogramsButKeepsAggregates) {
   KvService service(base_config(2, 2, replica::DrawPath::kMask));
   Request req;
