@@ -110,6 +110,17 @@ double masking_epsilon_exact(std::int64_t n, std::int64_t q, std::int64_t b,
   return std::clamp(1.0 - success, 0.0, 1.0);
 }
 
+double fabrication_epsilon_exact(std::int64_t n, std::int64_t q,
+                                 std::int64_t b, std::int64_t k) {
+  check_nq(n, q);
+  PQS_REQUIRE(b >= 0 && b <= n, "byzantine count");
+  PQS_REQUIRE(k >= 1 && k <= n, "threshold k");
+  // X = |Q ∩ B| ~ H(b; n, q); the fabrication event is X >= k.
+  const auto X = math::make_hypergeometric(n, b, q);
+  if (X.support_max() < k) return 0.0;  // b < k: colluders cannot qualify
+  return X.upper_tail(k);
+}
+
 double masking_psi1(double l) {
   PQS_REQUIRE(l > 2.0, "masking requires l = q/b > 2");
   constexpr double kFourE = 4.0 * 2.718281828459045;

@@ -55,6 +55,16 @@ std::int64_t masking_threshold(std::int64_t n, std::int64_t q);
 double masking_epsilon_exact(std::int64_t n, std::int64_t q, std::int64_t b,
                              std::int64_t k);
 
+// Exact P(|Q ∩ B| >= k) for |B| = b: the probability that enough faulty
+// servers land in one quorum to reach the masking threshold — the event
+// of Lemma 5.7, and the acceptance probability of a *fabricated* record
+// under masking reads (a forged group can only win if >= k colluders
+// answer the read). This is the hypergeometric upper tail of
+// X = |Q ∩ B| ~ H(b; n, q), the closed-form oracle for the batched
+// mask-draw estimator core::estimate_fabrication_epsilon.
+double fabrication_epsilon_exact(std::int64_t n, std::int64_t q,
+                                 std::int64_t b, std::int64_t k);
+
 // psi_1 / psi_2 of Lemmas 5.7 and 5.9 (l = q/b, valid for l > 2).
 double masking_psi1(double l);
 double masking_psi2(double l);

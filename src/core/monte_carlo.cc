@@ -129,6 +129,36 @@ math::Proportion estimate_masking_epsilon(const quorum::QuorumSystem& system,
       merge_proportion);
 }
 
+math::Proportion estimate_fabrication_epsilon(
+    const quorum::QuorumSystem& system, std::uint32_t b, std::uint32_t k,
+    std::uint64_t samples, math::Rng& rng, Estimator& engine) {
+  PQS_REQUIRE(b <= system.universe_size(), "byzantine count");
+  return engine.run_trials<math::Proportion>(
+      samples, rng,
+      [&](std::uint32_t, std::uint64_t shard_samples, math::Rng& shard_rng) {
+        // Single-draw trials: one quorum mask per trial, judged in
+        // kDrawBatch chunks by one strided prefix-popcount sweep.
+        quorum::MaskBatch batch(system.universe_size(), kDrawBatch);
+        const std::size_t w = batch.words_per_mask();
+        math::Proportion result;
+        std::uint64_t done = 0;
+        while (done < shard_samples) {
+          const std::size_t draws = static_cast<std::size_t>(
+              std::min<std::uint64_t>(shard_samples - done, kDrawBatch));
+          system.sample_masks(batch.masks(), draws, shard_rng);
+          std::uint32_t faulty_in_quorum[kDrawBatch];
+          simd::active().batch_popcount_prefix(batch.words(), w, draws, b,
+                                               faulty_in_quorum);
+          for (std::size_t i = 0; i < draws; ++i) {
+            result.add(faulty_in_quorum[i] >= k);
+          }
+          done += draws;
+        }
+        return result;
+      },
+      merge_proportion);
+}
+
 stats::LoadProfile estimate_load_profile(const quorum::QuorumSystem& system,
                                          std::uint64_t samples,
                                          math::Rng& rng, Estimator& engine) {

@@ -54,6 +54,18 @@ math::Proportion estimate_masking_epsilon(
     std::uint64_t samples, math::Rng& rng,
     Estimator& engine = Estimator::shared());
 
+// Frequency of |Q ∩ B| >= k over single quorum draws, B = {0..b-1} —
+// the fabrication-acceptance event of Lemma 5.7: a forged record wins a
+// masking read only if at least k colluders land in the read quorum.
+// Oracle: core::fabrication_epsilon_exact (hypergeometric upper tail).
+// Unlike the Definition 5.1 pair estimators this draws ONE mask per
+// trial; mask chunks are judged by the strided batch_popcount_prefix
+// kernel, bit-identical at any thread count.
+math::Proportion estimate_fabrication_epsilon(
+    const quorum::QuorumSystem& system, std::uint32_t b, std::uint32_t k,
+    std::uint64_t samples, math::Rng& rng,
+    Estimator& engine = Estimator::shared());
+
 // Per-server access-frequency profile over `samples` draws: hits[u]
 // estimates l_w(u) * samples, max_load() estimates the induced load L_w,
 // and the profile carries the shape measures (mean, imbalance, top-k hot

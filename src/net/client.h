@@ -16,6 +16,25 @@
 // bounded while the wire stays saturated. With connections = 1 the send
 // order is the wire order, which is the determinism precondition the
 // net_throughput bit-identity gates rely on.
+//
+// Fault tolerance (all opt-in; the defaults preserve the original
+// fail-fast behavior byte for byte, which is what the bit-identity
+// benches run under):
+//   * connect failures retry with jittered capped exponential backoff
+//     (connect_attempts > 1) instead of aborting the run;
+//   * request_timeout_ns > 0 arms a per-request deadline. Expired
+//     requests are reaped on the driver thread (inside the window-full
+//     spin and drain()), retried up to max_retries times under jittered
+//     exponential backoff on the next usable connection (failover), and
+//     abandoned after that — so a stalled, reset, or truncated server
+//     connection degrades one connection's requests instead of wedging
+//     the run;
+//   * a failed connection is lazily reconnected by the driver the next
+//     time round-robin lands on it; its in-flight requests are retried.
+// Backoff jitter comes from a dedicated math::Rng stream (retry_seed) —
+// never from any quorum stream, so client-side fault handling cannot
+// perturb a single quorum draw. All recovery counters are surfaced in
+// stats().
 #pragma once
 
 #include <atomic>
@@ -28,10 +47,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "math/rng.h"
 #include "net/frame.h"
 #include "stats/latency_histogram.h"
 
 namespace pqs::net {
+
+// Graceful-degradation counters: how hard the client had to work to keep
+// the run going. All zero on a healthy run.
+struct ClientStats {
+  std::uint64_t timeouts = 0;         // requests past their deadline
+  std::uint64_t retries = 0;          // re-sends of timed-out requests
+  std::uint64_t failovers = 0;        // retries routed to a different conn
+  std::uint64_t reconnects = 0;       // failed connections re-established
+  std::uint64_t abandoned = 0;        // requests dropped after max_retries
+  std::uint64_t late_responses = 0;   // responses after timeout/abandon
+  std::uint64_t connect_retries = 0;  // extra connect() attempts
+};
 
 class Client {
  public:
@@ -41,6 +73,19 @@ class Client {
     std::uint32_t connections = 1;
     std::uint32_t window = 512;       // max outstanding per connection
     std::size_t flush_bytes = 8192;   // coalescing threshold
+    // Connect retry (applies to start() and lazy reconnects): total
+    // attempts per connection before giving up, with jittered exponential
+    // backoff between attempts.
+    std::uint32_t connect_attempts = 5;
+    std::uint64_t connect_backoff_ns = 1'000'000;    // first retry delay
+    std::uint64_t connect_backoff_cap_ns = 100'000'000;
+    // Per-request deadline; 0 (default) disables deadlines, retries, and
+    // late-response tolerance — the original strict client.
+    std::uint64_t request_timeout_ns = 0;
+    std::uint32_t max_retries = 2;                   // per request
+    std::uint64_t retry_backoff_ns = 200'000;        // first retry delay
+    std::uint64_t retry_backoff_cap_ns = 20'000'000;
+    std::uint64_t retry_seed = 0x5eedba11u;          // backoff jitter rng
   };
 
   explicit Client(Config config);
@@ -49,8 +94,9 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  // Connects every connection and launches the reader threads; the
-  // client clock (now_ns(), the timebase of scheduled_ns) starts here.
+  // Connects every connection (retrying per connect_attempts) and
+  // launches the reader threads; the client clock (now_ns(), the
+  // timebase of scheduled_ns) starts here.
   void start();
 
   // Queues one GET (is_read) or PUT. scheduled_ns is the latency origin:
@@ -62,7 +108,8 @@ class Client {
   // Pushes every coalesced buffer to the kernel.
   void flush();
 
-  // flush(), then waits until every sent request has its response.
+  // flush(), then waits until every sent request has its response (or,
+  // with deadlines armed, was retried/abandoned).
   void drain();
 
   // drain(), shuts the sockets down, joins the readers. Idempotent.
@@ -77,14 +124,28 @@ class Client {
   // Merged over the per-connection reader histograms. Only meaningful
   // after drain() (readers quiesce once every response has arrived).
   stats::LatencyHistogram histogram() const;
+  // Recovery counters; call from the driver thread (or after stop()).
+  ClientStats stats() const;
 
  private:
+  // One queued request awaiting its response. The driver inserts,
+  // the reader erases on match, the driver reaps on deadline.
+  struct PendingOp {
+    std::uint64_t scheduled_ns = 0;
+    std::uint64_t deadline_ns = 0;  // 0 = no deadline armed
+    std::uint64_t key = 0;
+    std::int64_t value = 0;
+    bool is_read = false;
+    std::uint32_t attempts = 1;  // send attempts so far (this one included)
+    std::uint32_t origin = 0;    // connection index it was sent on
+  };
+
   struct Conn {
     int fd = -1;
     std::vector<unsigned char> sendbuf;
-    // request_id -> scheduled_ns; driver inserts, reader erases.
+    // request_id -> op; driver inserts, reader erases.
     std::mutex pending_mutex;
-    std::unordered_map<std::uint64_t, std::uint64_t> pending;
+    std::unordered_map<std::uint64_t, PendingOp> pending;
     std::atomic<std::uint64_t> outstanding{0};
     std::thread reader;
     // Reader-private until the reader joins (stop()).
@@ -92,11 +153,30 @@ class Client {
     std::uint64_t received = 0;
     std::uint64_t reads_found = 0;
     std::uint64_t reads_empty = 0;
+    std::atomic<std::uint64_t> late_responses{0};
     std::atomic<bool> failed{false};
   };
 
   void flush_conn(Conn& conn);
   void reader_loop(Conn& conn);
+  // connect() with capped jittered backoff; -1 after connect_attempts.
+  int connect_with_backoff();
+  // Driver-side: index of the first usable connection at or after
+  // start_index, lazily reconnecting failed ones; requires one to be
+  // usable. Sets *failover when it had to skip past start_index.
+  std::uint32_t pick_usable(std::uint32_t start_index, bool* failover);
+  // Driver-side: tears down and re-establishes one failed connection,
+  // retrying its orphaned in-flight requests. False if connect fails.
+  bool reconnect(Conn& conn, std::uint32_t index);
+  // Driver-side: scans every connection for requests past their
+  // deadline; expired ones are retried (bounded, with backoff, on the
+  // next usable connection) or abandoned. No-op without deadlines.
+  void reap_expired();
+  // Appends one frame for `op` to `conn` and registers it in pending.
+  void enqueue_op(Conn& conn, std::uint32_t index, const PendingOp& op);
+  void backoff_sleep(std::uint64_t base_ns, std::uint64_t cap_ns,
+                     std::uint32_t attempt);
+  bool deadlines_armed() const { return config_.request_timeout_ns > 0; }
 
   Config config_;
   bool running_ = false;
@@ -105,6 +185,14 @@ class Client {
   std::uint64_t sent_ = 0;
   std::uint32_t next_conn_ = 0;
   std::chrono::steady_clock::time_point epoch_{};
+  // Driver-thread-only recovery state.
+  math::Rng retry_rng_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t connect_retries_ = 0;
 };
 
 }  // namespace pqs::net

@@ -4,13 +4,27 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
+#include <limits>
 #include <utility>
 
 #include "util/require.h"
 
 namespace pqs::net {
+
+namespace {
+
+std::uint64_t mono_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 EventLoop::EventLoop() {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -69,6 +83,25 @@ void EventLoop::post(std::function<void()> task) {
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
 }
 
+void EventLoop::post_after(std::uint64_t delay_ns,
+                           std::function<void()> task) {
+  // Min-heap order for std::push_heap/pop_heap (which build max-heaps):
+  // "greater" on (due_ns, seq) puts the earliest timer at the front.
+  const auto later = [](const Timer& a, const Timer& b) {
+    return a.due_ns != b.due_ns ? a.due_ns > b.due_ns : a.seq > b.seq;
+  };
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    timers_.push_back(
+        Timer{mono_now_ns() + delay_ns, timer_seq_++, std::move(task)});
+    std::push_heap(timers_.begin(), timers_.end(), later);
+  }
+  // Wake the loop so it recomputes its epoll_wait timeout against the
+  // (possibly now earlier) head timer.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
 void EventLoop::drain_wakeup() {
   std::uint64_t count = 0;
   while (::read(wake_fd_, &count, sizeof(count)) > 0) {
@@ -84,12 +117,42 @@ void EventLoop::run_posted_tasks() {
   for (auto& task : ready) task();
 }
 
+void EventLoop::run_due_timers() {
+  const auto later = [](const Timer& a, const Timer& b) {
+    return a.due_ns != b.due_ns ? a.due_ns > b.due_ns : a.seq > b.seq;
+  };
+  std::vector<std::function<void()>> due;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    const std::uint64_t now = mono_now_ns();
+    while (!timers_.empty() && timers_.front().due_ns <= now) {
+      std::pop_heap(timers_.begin(), timers_.end(), later);
+      due.push_back(std::move(timers_.back().task));
+      timers_.pop_back();
+    }
+  }
+  for (auto& task : due) task();
+}
+
+int EventLoop::wait_timeout_ms() {
+  std::lock_guard<std::mutex> lock(tasks_mutex_);
+  if (!tasks_.empty()) return 0;
+  if (timers_.empty()) return -1;
+  const std::uint64_t now = mono_now_ns();
+  const std::uint64_t due = timers_.front().due_ns;
+  if (due <= now) return 0;
+  const std::uint64_t ms = (due - now + 999'999) / 1'000'000;
+  return static_cast<int>(
+      std::min<std::uint64_t>(ms, std::numeric_limits<int>::max()));
+}
+
 void EventLoop::run() {
   loop_thread_.store(std::this_thread::get_id());
   std::array<epoll_event, 64> events;
   while (!stopping_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), -1);
+                               static_cast<int>(events.size()),
+                               wait_timeout_ms());
     if (n < 0) {
       PQS_REQUIRE(errno == EINTR, "epoll_wait failed");
       continue;
@@ -109,10 +172,16 @@ void EventLoop::run() {
       }
       (*handler)(events[i].events);
     }
-    // After IO: tasks posted by worker threads (response flushes) and, on
-    // stop, whatever was queued behind the final wakeup.
+    // After IO: due timers, then tasks posted by worker threads (response
+    // flushes) and, on stop, whatever was queued behind the final wakeup.
+    run_due_timers();
     run_posted_tasks();
   }
+  // Drain-on-exit: a task posted between the final dispatch round and the
+  // stop flag becoming visible would otherwise be dropped — and with it a
+  // queued response flush. Pending *timers* are deliberately abandoned
+  // (delayed work is best-effort); posted tasks are not.
+  run_posted_tasks();
   loop_thread_.store(std::thread::id{});
 }
 

@@ -47,6 +47,14 @@ class EventLoop {
   // Thread-safe: enqueues `task` to run on the loop thread and wakes it.
   void post(std::function<void()> task);
 
+  // Thread-safe: runs `task` on the loop thread no earlier than `delay_ns`
+  // from now (monotonic clock). The loop sleeps in epoll_wait with a
+  // timeout derived from the earliest pending timer, so a timer costs no
+  // polling. Timers still pending when the loop stops are dropped —
+  // delayed work is best-effort by contract (it exists for fault
+  // injection and backoff, not correctness).
+  void post_after(std::uint64_t delay_ns, std::function<void()> task);
+
   // Runs until stop(); the calling thread becomes the loop thread.
   void run();
 
@@ -58,8 +66,18 @@ class EventLoop {
   }
 
  private:
+  struct Timer {
+    std::uint64_t due_ns;
+    std::uint64_t seq;  // insertion order breaks due-time ties FIFO
+    std::function<void()> task;
+  };
+
   void drain_wakeup();
   void run_posted_tasks();
+  void run_due_timers();
+  // epoll_wait timeout in ms: 0 if work is already queued, the time to
+  // the earliest timer if one is pending, -1 (block) otherwise.
+  int wait_timeout_ms();
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -67,6 +85,8 @@ class EventLoop {
   std::atomic<std::thread::id> loop_thread_{};
   std::mutex tasks_mutex_;
   std::vector<std::function<void()>> tasks_;
+  std::vector<Timer> timers_;  // min-heap by (due_ns, seq), under tasks_mutex_
+  std::uint64_t timer_seq_ = 0;
   // shared_ptr so a handler that removes fds (closing a connection) during
   // a dispatch round cannot free a handler the round is still calling;
   // the mutex covers cross-thread registration (acceptor → IO loop).

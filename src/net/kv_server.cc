@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -97,6 +98,15 @@ void KvServer::stop() {
   {
     std::unique_lock<std::shared_mutex> lock(conns_mutex_);
     for (auto& [id, conn] : conns_) {
+      // Drain queued replies before closing: a completion that raced the
+      // final dispatch round has its bytes buffered (the loops drain
+      // posted flush tasks on exit), so pushing the residue here means a
+      // client that saw its request accepted gets its response.
+      // Stalled connections stay stalled — that is the injected fault.
+      if (!conn->closed.load(std::memory_order_acquire) &&
+          !conn->stalled.load(std::memory_order_acquire)) {
+        flush_remaining(*conn);
+      }
       conn->closed.store(true, std::memory_order_release);
       ::close(conn->fd);
     }
@@ -245,19 +255,54 @@ void KvServer::on_complete(const serve::Completion& done) {
 void KvServer::enqueue_response(const std::shared_ptr<Connection>& conn,
                                 const Frame& frame) {
   if (conn->closed.load(std::memory_order_acquire)) return;
+  // Fault-injection seam: the injector's verdict can replace the normal
+  // flush. Everything socket-touching still happens on the owning IO
+  // thread — the verdict only changes *which* task gets posted.
+  FaultAction action = FaultAction::kNone;
+  if (config_.fault_injector != nullptr) {
+    action = config_.fault_injector->on_response(conn->id);
+  }
+  if (action == FaultAction::kReset) {
+    conn->loop->post([this, conn] { reset_connection(conn); });
+    return;
+  }
   unsigned char wire[kFrameBytes];
   encode_frame(frame, wire);
+  const std::size_t bytes =
+      action == FaultAction::kTruncate ? kFrameBytes / 2 : kFrameBytes;
   {
     std::lock_guard<std::mutex> lock(conn->out_mutex);
-    conn->out.insert(conn->out.end(), wire, wire + kFrameBytes);
+    conn->out.insert(conn->out.end(), wire, wire + bytes);
   }
+  if (action == FaultAction::kStall) {
+    // Slow-loris: the bytes sit in the buffer and no flush is ever
+    // posted. The connection stays open and silent.
+    conn->stalled.store(true, std::memory_order_release);
+    return;
+  }
+  if (action == FaultAction::kTruncate) {
+    // Push the half frame, then close in an orderly way: the peer sees a
+    // partial frame followed by EOF.
+    conn->loop->post([this, conn] {
+      try_write(conn);
+      close_connection(conn);
+    });
+    return;
+  }
+  if (conn->stalled.load(std::memory_order_acquire)) return;
   // Collapse a burst of completions into one flush task on the owning IO
   // thread — the only thread that ever writes to the socket.
   if (!conn->flush_pending.exchange(true, std::memory_order_acq_rel)) {
-    conn->loop->post([this, conn] {
+    auto flush = [this, conn] {
       conn->flush_pending.store(false, std::memory_order_release);
       try_write(conn);
-    });
+    };
+    if (action == FaultAction::kDelay) {
+      conn->loop->post_after(config_.fault_injector->delay_ns(),
+                             std::move(flush));
+    } else {
+      conn->loop->post(std::move(flush));
+    }
   }
 }
 
@@ -299,6 +344,43 @@ void KvServer::close_connection(const std::shared_ptr<Connection>& conn) {
     conns_.erase(conn->id);
   }
   ::close(conn->fd);
+}
+
+void KvServer::reset_connection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  // Zero-timeout linger turns close() into an abortive release: queued
+  // data is discarded and the peer gets RST instead of FIN.
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(conn->fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  close_connection(conn);
+}
+
+void KvServer::flush_remaining(Connection& conn) {
+  // Best-effort, bounded: the socket is still open and nonblocking, the
+  // IO threads are joined, so this thread owns it. A peer that stopped
+  // reading cannot wedge shutdown — the poll budget caps the wait.
+  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  int budget_ms = 200;
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_offset,
+                             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (budget_ms <= 0) return;
+      pollfd pfd{conn.fd, POLLOUT, 0};
+      const int r = ::poll(&pfd, 1, 50);
+      budget_ms -= 50;
+      if (r < 0 && errno != EINTR) return;
+      continue;
+    }
+    return;  // hard error: the peer is gone, nothing left to drain
+  }
 }
 
 std::shared_ptr<KvServer::Connection> KvServer::find_connection(

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "net/event_loop.h"
+#include "net/fault_injector.h"
 #include "net/frame.h"
 #include "serve/kv_service.h"
 
@@ -52,6 +53,12 @@ class KvServer {
     std::uint32_t io_threads = 1;
     std::size_t decoder_capacity = 1 << 16;  // per-connection ring bytes
     int backlog = 128;
+    // Borrowed fault-injection seam (nullptr = no injection, zero cost on
+    // the response path). When set, every response verdict comes from
+    // FaultInjector::on_response and may replace the normal flush with a
+    // reset / stall / truncate / delayed flush — see fault_injector.h.
+    // The injector must outlive the server.
+    FaultInjector* fault_injector = nullptr;
   };
 
   // The service is borrowed, not owned: the caller starts/stops it (and
@@ -105,6 +112,10 @@ class KvServer {
     bool want_write = false;     // EPOLLOUT armed (loop-thread-only)
     std::atomic<bool> flush_pending{false};
     std::atomic<bool> closed{false};
+    // Injected slow-loris: queued bytes are never flushed (and the
+    // stop() drain skips them, so a stalled connection stays stalled
+    // through shutdown instead of un-stalling at the last moment).
+    std::atomic<bool> stalled{false};
   };
 
   void accept_ready();
@@ -119,6 +130,11 @@ class KvServer {
   // Loop-thread-only: writes pending bytes, arms/disarms EPOLLOUT.
   void try_write(const std::shared_ptr<Connection>& conn);
   void close_connection(const std::shared_ptr<Connection>& conn);
+  // SO_LINGER(0) + close: the peer sees a hard RST, not a FIN.
+  void reset_connection(const std::shared_ptr<Connection>& conn);
+  // stop()-time synchronous drain of one connection's outbound buffer
+  // (IO threads already joined, so the stopping thread owns the socket).
+  void flush_remaining(Connection& conn);
   std::shared_ptr<Connection> find_connection(std::uint64_t id) const;
 
   Config config_;

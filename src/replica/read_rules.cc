@@ -24,7 +24,10 @@ ReadSelection pick_highest_timestamp(const std::vector<ReadReply>& replies,
   ReadSelection out;
   for (const auto& r : replies) {
     if (!r.has_value) continue;
-    if (verifier != nullptr && !verifier->verify(r.record)) continue;
+    if (verifier != nullptr && !verifier->verify(r.record)) {
+      ++out.rejected;  // forged or corrupted MAC — never a candidate
+      continue;
+    }
     if (!out.has_value || r.record.timestamp > out.record.timestamp) {
       out.has_value = true;
       out.record = r.record;
@@ -79,7 +82,10 @@ ReadSelection select_masking(const std::vector<ReadReply>& replies,
     for (std::size_t j = i; j < replies.size(); ++j) {
       if (replies[j].has_value && key_of(replies[j]) == key) ++count;
     }
-    if (count < k) continue;
+    if (count < k) {
+      out.rejected += count;  // sub-threshold group: all its votes refused
+      continue;
+    }
     const auto timestamp = std::get<2>(key);
     if (!out.has_value || timestamp > out.record.timestamp ||
         (timestamp == out.record.timestamp && key < best_key)) {

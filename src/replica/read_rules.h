@@ -31,6 +31,11 @@ struct ReadSelection {
   bool has_value = false;     // false = ⊥ (empty V')
   crypto::SignedRecord record;
   std::uint32_t vouchers = 0;  // servers that returned the chosen record
+  // Replies the rule refused to consider: MAC-verification failures under
+  // dissemination, members of sub-threshold (< k voucher) groups under
+  // masking. Zero for plain reads. This is the per-read forgery-rejection
+  // signal the serving tier aggregates into rejected_forgeries.
+  std::uint32_t rejected = 0;
 };
 
 ReadSelection select_plain(const std::vector<ReadReply>& replies);

@@ -18,6 +18,19 @@ inline std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+inline replica::FaultMode fault_mode_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCorrect: return replica::FaultMode::kCorrect;
+    case FaultKind::kCrash: return replica::FaultMode::kCrash;
+    case FaultKind::kSuppress: return replica::FaultMode::kSuppress;
+    case FaultKind::kStaleReplay: return replica::FaultMode::kStaleReplay;
+    case FaultKind::kForge: return replica::FaultMode::kForge;
+    case FaultKind::kCollude: return replica::FaultMode::kCollude;
+    case FaultKind::kNone: break;
+  }
+  return replica::FaultMode::kCorrect;
+}
+
 }  // namespace
 
 KvService::KvService(Config config) : config_(std::move(config)) {
@@ -31,13 +44,22 @@ KvService::KvService(Config config) : config_(std::move(config)) {
     auto shard = std::make_unique<Shard>(config_.queue_capacity);
     replica::InstantCluster::Config cluster_cfg;
     cluster_cfg.quorums = config_.quorums;
+    cluster_cfg.mode = config_.read_mode;
+    cluster_cfg.read_threshold = config_.read_threshold;
     cluster_cfg.seed = config_.seed + 0x51ed2701ULL * (s + 1);
     cluster_cfg.draw_path = config_.draw_path;
     cluster_cfg.dynamic_membership = config_.dynamic_membership;
     cluster_cfg.initial_live = config_.initial_live;
     cluster_cfg.churn_seed = config_.seed + 0xc4a84e11ULL * (s + 1);
-    shard->cluster =
-        std::make_unique<replica::InstantCluster>(std::move(cluster_cfg));
+    if (config_.faults.has_value()) {
+      PQS_REQUIRE(config_.faults->size() == config_.quorums->universe_size(),
+                  "fault plan size");
+      shard->cluster = std::make_unique<replica::InstantCluster>(
+          std::move(cluster_cfg), *config_.faults);
+    } else {
+      shard->cluster =
+          std::make_unique<replica::InstantCluster>(std::move(cluster_cfg));
+    }
     shard->accesses.assign(shard->cluster->universe_size(), 0);
     shards_.push_back(std::move(shard));
   }
@@ -94,6 +116,17 @@ void KvService::submit_churn(std::uint32_t shard, ChurnKind kind,
   Request request;
   request.key = arg;
   request.churn = kind;
+  util::MpscRing<Request>& ring = shards_.at(shard)->ring;
+  while (!ring.try_push(request)) std::this_thread::yield();
+}
+
+void KvService::submit_fault(std::uint32_t shard, FaultKind kind,
+                             std::uint64_t slot) {
+  PQS_REQUIRE(kind != FaultKind::kNone, "fault kind");
+  PQS_REQUIRE(slot < config_.quorums->universe_size(), "fault slot");
+  Request request;
+  request.key = slot;
+  request.fault = kind;
   util::MpscRing<Request>& ring = shards_.at(shard)->ring;
   while (!ring.try_push(request)) std::this_thread::yield();
 }
@@ -161,6 +194,14 @@ void KvService::worker_loop(std::uint32_t worker) {
 
 void KvService::process(Shard& shard, const Request& request) {
   ShardAggregate& agg = shard.aggregate;
+  if (request.fault != FaultKind::kNone) {
+    // Fault flip at this FIFO position. Like churn: control traffic, so
+    // no latency record and no completion.
+    shard.cluster->server(static_cast<std::uint32_t>(request.key))
+        .set_mode(fault_mode_of(request.fault));
+    ++agg.fault_events;
+    return;
+  }
   if (request.churn != ChurnKind::kNone) {
     // Membership change at this FIFO position. No latency record, no
     // completion — churn is control traffic, not a served request.
@@ -184,14 +225,20 @@ void KvService::process(Shard& shard, const Request& request) {
     ++agg.reads;
     shard.cluster->read_into(shard.read_scratch, request.key);
     for (const auto u : shard.read_scratch.quorum) ++shard.accesses[u];
+    const auto& selection = shard.read_scratch.selection;
+    // Byzantine accounting first: what the selection rule refused, and
+    // whether refusing was enough to still pick a value (masked) or left
+    // the read with ⊥ (bot). All deterministic, so inside the gate.
+    agg.rejected_forgeries += selection.rejected;
+    if (selection.rejected > 0 && selection.has_value) ++agg.masked_reads;
+    if (!selection.has_value) ++agg.bot_reads;
     const auto expected = shard.last_written.find(request.key);
     if (expected == shard.last_written.end()) {
       ++agg.empty_reads;
-    } else if (!shard.read_scratch.selection.has_value) {
+    } else if (!selection.has_value) {
       ++agg.empty_reads;
       ++agg.stale_reads;
-    } else if (shard.read_scratch.selection.record.value !=
-               expected->second) {
+    } else if (selection.record.value != expected->second) {
       ++agg.stale_reads;
     }
   } else {

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,23 @@ namespace pqs::serve {
 // slot in Request::key.
 enum class ChurnKind : std::uint8_t { kNone = 0, kReplace, kJoin, kLeave };
 
+// Fault-mode flips ride the shard rings the same way churn does: an
+// in-band request that switches the FaultMode of the server in
+// Request::key at a definite FIFO position in the shard's request
+// subsequence. Adversarial scenarios are therefore deterministic and
+// replayable — the same submission order produces bit-identical
+// aggregates at any worker count and on either draw path. The kinds
+// mirror replica::FaultMode one-for-one (kCorrect heals a server).
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kCorrect,
+  kCrash,
+  kSuppress,
+  kStaleReplay,
+  kForge,
+  kCollude,
+};
+
 // One routed request. scheduled_ns is the open-loop arrival deadline
 // relative to the service epoch (service_now_ns() clock); latency is
 // measured from it at completion. ctx/request_id are opaque words the
@@ -67,6 +85,7 @@ struct Request {
   bool is_read = false;
   bool wants_reply = false;  // invoke the completion hook for this request
   ChurnKind churn = ChurnKind::kNone;
+  FaultKind fault = FaultKind::kNone;  // key = the server slot to flip
 };
 
 // What the completion hook learns about one finished request: the opaque
@@ -98,13 +117,26 @@ struct ShardAggregate {
   // so they sit inside the bit-identity gate like everything else here.
   std::uint64_t churn_events = 0;
   std::uint64_t membership_epoch = 0;
+  // Byzantine-read accounting (all zero under plain reads on an honest
+  // fleet, so the counters extend the gate without disturbing it):
+  // replies the selection rule refused (failed MACs under dissemination,
+  // sub-k voucher groups under masking), reads that rejected at least one
+  // reply yet still selected a value (the rule *masked* the fault), reads
+  // whose selection was ⊥, and fault-mode flips applied in-band.
+  std::uint64_t rejected_forgeries = 0;
+  std::uint64_t masked_reads = 0;
+  std::uint64_t bot_reads = 0;
+  std::uint64_t fault_events = 0;
 
   bool operator==(const ShardAggregate& o) const {
     return reads == o.reads && writes == o.writes &&
            stale_reads == o.stale_reads && empty_reads == o.empty_reads &&
            access_checksum == o.access_checksum &&
            churn_events == o.churn_events &&
-           membership_epoch == o.membership_epoch;
+           membership_epoch == o.membership_epoch &&
+           rejected_forgeries == o.rejected_forgeries &&
+           masked_reads == o.masked_reads && bot_reads == o.bot_reads &&
+           fault_events == o.fault_events;
   }
   ShardAggregate& operator+=(const ShardAggregate& o) {
     reads += o.reads;
@@ -114,6 +146,10 @@ struct ShardAggregate {
     access_checksum += o.access_checksum;
     churn_events += o.churn_events;
     membership_epoch += o.membership_epoch;
+    rejected_forgeries += o.rejected_forgeries;
+    masked_reads += o.masked_reads;
+    bot_reads += o.bot_reads;
+    fault_events += o.fault_events;
     return *this;
   }
 };
@@ -137,6 +173,16 @@ class KvService {
     // `seed`, so churned runs stay deterministic end to end.
     bool dynamic_membership = false;
     std::uint32_t initial_live = 0;  // 0 = all slots live
+    // Read-selection rule every shard cluster applies (plain /
+    // dissemination / masking) and the masking voucher threshold k.
+    // Defaults preserve the pre-Byzantine service byte for byte.
+    replica::ReadMode read_mode = replica::ReadMode::kPlain;
+    std::uint32_t read_threshold = 1;
+    // Initial fault assignment, applied identically to every shard
+    // cluster (shards are iid replicas of one universe, so "server u is
+    // Byzantine" means slot u in each shard). Live flips go through
+    // submit_fault. Size must match the quorum universe when set.
+    std::optional<replica::FaultPlan> faults;
   };
 
   // Called from the owning worker thread after a request's protocol work
@@ -189,6 +235,13 @@ class KvService {
   // requests submitted before and after it — so churned runs keep the
   // bit-identity contract. Requires Config::dynamic_membership.
   void submit_churn(std::uint32_t shard, ChurnKind kind, std::uint64_t arg = 0);
+
+  // Enqueues a fault-mode flip for server `slot` on `shard` as an in-band
+  // request (spins like submit when the ring is full). The flip applies
+  // at its FIFO position in the shard's request subsequence, exactly like
+  // churn — so adversarial runs keep the bit-identity contract: the same
+  // submission order yields the same aggregates at any worker count.
+  void submit_fault(std::uint32_t shard, FaultKind kind, std::uint64_t slot);
 
   // Flags shutdown, waits for every ring to drain, joins the workers.
   // All submits must have completed before the call. The service may be

