@@ -267,19 +267,26 @@ void Client::reap_expired() {
 
 void Client::drain() {
   flush();
-  for (auto& conn : conns_) {
-    while (conn->outstanding.load(std::memory_order_acquire) != 0) {
-      if (deadlines_armed()) {
-        // Deadline recovery keeps the drain live: expired requests are
-        // retried elsewhere or abandoned, so a dead connection cannot
-        // wedge shutdown.
-        reap_expired();
-      } else {
-        PQS_REQUIRE(!conn->failed.load(std::memory_order_acquire),
-                    "client connection failed while draining");
-      }
-      std::this_thread::yield();
+  // One global in-flight count, not a per-connection sweep: a deadline
+  // reap fails a request over to the *next* usable connection, which
+  // wraps — a retry can land on a connection this loop already saw, so
+  // only all-connections-simultaneously-zero means drained.
+  for (;;) {
+    std::uint64_t in_flight = 0;
+    for (auto& conn : conns_) {
+      in_flight += conn->outstanding.load(std::memory_order_acquire);
+      PQS_REQUIRE(deadlines_armed() ||
+                      !conn->failed.load(std::memory_order_acquire),
+                  "client connection failed while draining");
     }
+    if (in_flight == 0) return;
+    if (deadlines_armed()) {
+      // Deadline recovery keeps the drain live: expired requests are
+      // retried elsewhere or abandoned, so a dead connection cannot
+      // wedge shutdown.
+      reap_expired();
+    }
+    std::this_thread::yield();
   }
 }
 

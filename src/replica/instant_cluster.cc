@@ -6,10 +6,18 @@
 
 namespace pqs::replica {
 
+namespace {
+
+std::uint32_t plan_universe(const InstantCluster::Config& config) {
+  if (config.quorums != nullptr) return config.quorums->universe_size();
+  if (config.strategy != nullptr) return config.strategy->universe_size();
+  return 1;
+}
+
+}  // namespace
+
 InstantCluster::InstantCluster(Config config)
-    : InstantCluster(config, FaultPlan(config.quorums
-                                           ? config.quorums->universe_size()
-                                           : 1)) {}
+    : InstantCluster(config, FaultPlan(plan_universe(config))) {}
 
 InstantCluster::InstantCluster(Config config, FaultPlan faults)
     : config_(std::move(config)),
@@ -18,6 +26,18 @@ InstantCluster::InstantCluster(Config config, FaultPlan faults)
       rng_(config_.seed),
       churn_rng_(config_.churn_seed),
       collude_(std::make_shared<const ColludePlan>()) {
+  if (config_.strategy != nullptr) {
+    PQS_REQUIRE(!config_.dynamic_membership,
+                "a strategy's support is fixed-universe; it cannot be "
+                "combined with dynamic membership");
+    if (config_.quorums == nullptr) {
+      config_.quorums = config_.strategy;
+    } else {
+      PQS_REQUIRE(config_.quorums->universe_size() ==
+                      config_.strategy->universe_size(),
+                  "strategy universe mismatch");
+    }
+  }
   PQS_REQUIRE(config_.quorums != nullptr, "cluster needs a quorum system");
   const std::uint32_t n = config_.quorums->universe_size();
   PQS_REQUIRE(faults.size() == n, "fault plan size mismatch");
@@ -102,7 +122,14 @@ void InstantCluster::write_as_into(WriteResult& result, std::uint32_t writer,
                                    VariableId variable, std::int64_t value) {
   result.acks = 0;
   if (config_.draw_path == DrawPath::kMask) {
-    if (config_.dynamic_membership) {
+    if (config_.strategy) {
+      // One alias-table word from the shared quorum stream; the prebuilt
+      // support mask is copied into the scratch, so both paths pick the
+      // same index from the same stream position.
+      const std::uint32_t idx = config_.strategy->draw_write_index(rng_);
+      record_strategy_draw(idx, true);
+      draw_mask_ = config_.strategy->write_mask(idx);
+    } else if (config_.dynamic_membership) {
       // R(live, q) over the current view. With every slot live this
       // consumes the exact rng draws of the static sample_mask below.
       view_.sample_live_mask(config_.quorums->min_quorum_size(), rng_,
@@ -120,7 +147,11 @@ void InstantCluster::write_as_into(WriteResult& result, std::uint32_t writer,
   } else {
     // The original flow, preserved verbatim for A/B measurement: allocating
     // draw, message dispatch through process() and its Outbound vectors.
-    if (config_.dynamic_membership) {
+    if (config_.strategy) {
+      const std::uint32_t idx = config_.strategy->draw_write_index(rng_);
+      record_strategy_draw(idx, true);
+      result.quorum = config_.strategy->write_quorum(idx);
+    } else if (config_.dynamic_membership) {
       view_.sample_live_into(config_.quorums->min_quorum_size(), rng_,
                              result.quorum);
     } else {
@@ -149,7 +180,11 @@ void InstantCluster::read_into(ReadResult& result, VariableId variable) {
   result.repairs = 0;
   reply_scratch_.clear();
   if (config_.draw_path == DrawPath::kMask) {
-    if (config_.dynamic_membership) {
+    if (config_.strategy) {
+      const std::uint32_t idx = config_.strategy->draw_read_index(rng_);
+      record_strategy_draw(idx, false);
+      draw_mask_ = config_.strategy->read_mask(idx);
+    } else if (config_.dynamic_membership) {
       view_.sample_live_mask(config_.quorums->min_quorum_size(), rng_,
                              draw_mask_, compact_scratch_);
     } else {
@@ -165,7 +200,11 @@ void InstantCluster::read_into(ReadResult& result, VariableId variable) {
     draw_mask_.to_quorum_into(result.quorum);
   } else {
     // Original flow kept for A/B (see write_as_into).
-    if (config_.dynamic_membership) {
+    if (config_.strategy) {
+      const std::uint32_t idx = config_.strategy->draw_read_index(rng_);
+      record_strategy_draw(idx, false);
+      result.quorum = config_.strategy->read_quorum(idx);
+    } else if (config_.dynamic_membership) {
       view_.sample_live_into(config_.quorums->min_quorum_size(), rng_,
                              result.quorum);
     } else {

@@ -16,6 +16,7 @@
 #include "quorum/bitset.h"
 #include "quorum/membership.h"
 #include "quorum/quorum_system.h"
+#include "quorum/strategy.h"
 #include "replica/draw_path.h"
 #include "replica/fault.h"
 #include "replica/read_rules.h"
@@ -62,6 +63,15 @@ class InstantCluster {
     bool dynamic_membership = false;
     std::uint32_t initial_live = 0;
     std::uint64_t churn_seed = 0xc4a84e11u;
+    // Workload-aware access strategy (quorum/strategy.h). When set, writes
+    // draw from its write distribution and reads from its read
+    // distribution — one alias-table rng word per draw, same stream and
+    // bit-identity contract across both draw paths. `quorums` may be left
+    // null (the strategy then doubles as the cluster's quorum system) or
+    // must share the strategy's universe. Mutually exclusive with
+    // dynamic_membership: a strategy's support is a fixed-universe object,
+    // while timed quorums re-draw over whoever is live.
+    std::shared_ptr<const quorum::Strategy> strategy;
   };
 
   // All servers correct.
@@ -140,11 +150,28 @@ class InstantCluster {
   const quorum::QuorumSystem& quorums() const { return *config_.quorums; }
   math::Rng& rng() { return rng_; }
 
+  // Deterministic record of the strategy draws this cluster has made:
+  // `draws` counts them, `checksum` folds (index, read/write side) in
+  // order. Pure function of the operation sequence — part of the
+  // serving tier's bit-identity aggregate when a strategy is installed.
+  struct StrategyDrawStats {
+    std::uint64_t draws = 0;
+    std::uint64_t checksum = 0;
+  };
+  StrategyDrawStats strategy_draw_stats() const {
+    return {strategy_draws_, strategy_checksum_};
+  }
+
  private:
   std::uint64_t next_timestamp(std::uint32_t writer);
   // Installs a fresh, empty, correct server into `slot` (rng forked from
   // the churn stream) carrying the current view.
   void fresh_server(quorum::ServerId slot);
+  void record_strategy_draw(std::uint32_t index, bool is_write) {
+    ++strategy_draws_;
+    strategy_checksum_ = strategy_checksum_ * 0x9e3779b97f4a7c15ULL +
+                         (2ULL * index + (is_write ? 1 : 0) + 1);
+  }
 
   Config config_;
   crypto::Signer signer_;
@@ -161,6 +188,8 @@ class InstantCluster {
   // operation runs and is materialized into the result at the end.
   quorum::QuorumBitset draw_mask_;
   std::vector<ReadReply> reply_scratch_;
+  std::uint64_t strategy_draws_ = 0;
+  std::uint64_t strategy_checksum_ = 0;
   static constexpr std::uint32_t kClientId = 0xffffffffu;
 };
 

@@ -35,6 +35,11 @@ inline replica::FaultMode fault_mode_of(FaultKind kind) {
 
 KvService::KvService(Config config) : config_(std::move(config)) {
   PQS_REQUIRE(config_.shards >= 1, "service needs shards");
+  if (config_.strategy != nullptr) {
+    PQS_REQUIRE(!config_.dynamic_membership,
+                "a strategy cannot be combined with dynamic membership");
+    if (config_.quorums == nullptr) config_.quorums = config_.strategy;
+  }
   PQS_REQUIRE(config_.quorums != nullptr, "service needs a quorum system");
   PQS_REQUIRE(config_.batch >= 1, "dequeue batch");
   config_.workers = std::max<std::uint32_t>(
@@ -51,6 +56,7 @@ KvService::KvService(Config config) : config_(std::move(config)) {
     cluster_cfg.dynamic_membership = config_.dynamic_membership;
     cluster_cfg.initial_live = config_.initial_live;
     cluster_cfg.churn_seed = config_.seed + 0xc4a84e11ULL * (s + 1);
+    cluster_cfg.strategy = config_.strategy;
     if (config_.faults.has_value()) {
       PQS_REQUIRE(config_.faults->size() == config_.quorums->universe_size(),
                   "fault plan size");
@@ -146,6 +152,9 @@ void KvService::stop_and_drain() {
     }
     shard->aggregate.access_checksum = checksum;
     shard->aggregate.membership_epoch = shard->cluster->view_epoch();
+    const auto draw_stats = shard->cluster->strategy_draw_stats();
+    shard->aggregate.strategy_draws = draw_stats.draws;
+    shard->aggregate.strategy_checksum = draw_stats.checksum;
   }
 }
 

@@ -127,6 +127,13 @@ struct ShardAggregate {
   std::uint64_t masked_reads = 0;
   std::uint64_t bot_reads = 0;
   std::uint64_t fault_events = 0;
+  // Strategy-draw record (zero without a Config::strategy, so the gate is
+  // undisturbed on plain deployments): how many alias-table draws the
+  // shard cluster made, and the order-sensitive fold of the drawn
+  // (support index, read/write side) pairs — filled at stop_and_drain
+  // like access_checksum.
+  std::uint64_t strategy_draws = 0;
+  std::uint64_t strategy_checksum = 0;
 
   bool operator==(const ShardAggregate& o) const {
     return reads == o.reads && writes == o.writes &&
@@ -136,7 +143,9 @@ struct ShardAggregate {
            membership_epoch == o.membership_epoch &&
            rejected_forgeries == o.rejected_forgeries &&
            masked_reads == o.masked_reads && bot_reads == o.bot_reads &&
-           fault_events == o.fault_events;
+           fault_events == o.fault_events &&
+           strategy_draws == o.strategy_draws &&
+           strategy_checksum == o.strategy_checksum;
   }
   ShardAggregate& operator+=(const ShardAggregate& o) {
     reads += o.reads;
@@ -150,6 +159,8 @@ struct ShardAggregate {
     masked_reads += o.masked_reads;
     bot_reads += o.bot_reads;
     fault_events += o.fault_events;
+    strategy_draws += o.strategy_draws;
+    strategy_checksum += o.strategy_checksum;
     return *this;
   }
 };
@@ -183,6 +194,14 @@ class KvService {
     // Byzantine" means slot u in each shard). Live flips go through
     // submit_fault. Size must match the quorum universe when set.
     std::optional<replica::FaultPlan> faults;
+    // Workload-aware access strategy installed on every shard cluster
+    // (see replica::InstantCluster::Config::strategy): writes draw the
+    // strategy's write distribution, reads its read distribution, and
+    // each shard's draws land in ShardAggregate::strategy_draws /
+    // strategy_checksum inside the bit-identity gate. `quorums` may be
+    // left null (the strategy serves as the quorum system) and
+    // dynamic_membership must stay off.
+    std::shared_ptr<const quorum::Strategy> strategy;
   };
 
   // Called from the owning worker thread after a request's protocol work

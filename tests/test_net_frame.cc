@@ -218,6 +218,53 @@ TEST(FrameDecoder, FuzzGarbageBytesNeverDecodeAndNeverTrap) {
   }
 }
 
+TEST(FrameDecoder, CondemnationOutlivesLaterValidFrames) {
+  // The adversarial-replay shape: after one malformed frame, a client
+  // streaming perfectly valid frames must get nothing back — the
+  // connection is the unit of failure, and a condemned decoder may not
+  // resynchronize on a frame boundary the attacker chose.
+  FrameDecoder decoder;
+  unsigned char wire[kFrameBytes];
+  encode_frame(make_frame(1), wire);
+  Frame out;
+  decoder.feed(wire, kFrameBytes);
+  ASSERT_EQ(decoder.next(out), FrameDecoder::Result::kFrame);
+
+  unsigned char bad[kFrameBytes];
+  encode_frame(make_frame(2), bad);
+  bad[7] = 0x3f;  // length-valid, opcode garbage
+  decoder.feed(bad, kFrameBytes);
+  ASSERT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+  EXPECT_STREQ(decoder.error(), "unknown opcode");
+
+  for (int replay = 0; replay < 3; ++replay) {
+    encode_frame(make_frame(3 + replay), wire);
+    decoder.feed(wire, kFrameBytes);
+    EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+    EXPECT_STREQ(decoder.error(), "unknown opcode");  // the original verdict
+  }
+}
+
+TEST(FrameDecoder, OversizedLengthCondemnsBeforeAnyBodyArrives) {
+  // A 2 GiB length prefix must condemn on the 4 prefix bytes alone: the
+  // decoder may not wait for (or try to buffer) a body that large, even
+  // when valid-looking bytes keep arriving behind the prefix.
+  FrameDecoder decoder;
+  const unsigned char huge_len[4] = {0xff, 0xff, 0xff, 0x7f};
+  decoder.feed(huge_len, sizeof(huge_len));
+  Frame out;
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+  EXPECT_STREQ(decoder.error(), "bad frame length");
+
+  unsigned char wire[kFrameBytes];
+  encode_frame(make_frame(9), wire);
+  decoder.feed(wire, kFrameBytes);
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+  // Nothing was consumed toward the phantom body: the buffered bytes are
+  // exactly what was fed, all stranded behind the condemnation.
+  EXPECT_EQ(decoder.buffered_bytes(), 4u + kFrameBytes);
+}
+
 TEST(FrameDecoder, WritableSpansCoverExactlyTheFreeRegion) {
   FrameDecoder decoder(64);
   EXPECT_EQ(decoder.capacity(), 64u);

@@ -375,5 +375,279 @@ TEST(KvServerFaults, DelayedResponsesCompleteWithoutDeadlines) {
   server.stop();
 }
 
+// ---- randomized-probability injection (the probabilistic mode) ------------
+
+// The injector's determinism contract, unit-level: two injectors with the
+// same seed produce the same verdict sequence word for word, and explicit
+// overrides consume no rng draws (the randomized stream is unperturbed by
+// any number of override judgments interleaved into it).
+TEST(FaultInjectorProbabilistic, SeededStreamIsDeterministicAndOverridesDrawNothing) {
+  FaultInjector::Config fcfg;
+  fcfg.seed = 0xca3b00d1eULL;
+  fcfg.reset_prob = 0.10;
+  fcfg.stall_prob = 0.05;
+  fcfg.truncate_prob = 0.10;
+  fcfg.delay_prob = 0.20;
+  FaultInjector a(fcfg);
+  FaultInjector b(fcfg);
+  b.set_action(7, FaultAction::kReset);
+
+  constexpr int kJudgments = 600;
+  std::vector<FaultAction> va, vb;
+  for (int i = 0; i < kJudgments; ++i) {
+    va.push_back(a.on_response(1));
+    // An override verdict between b's randomized draws: pinned, drawn
+    // from no stream.
+    EXPECT_EQ(b.on_response(7), FaultAction::kReset);
+    vb.push_back(b.on_response(1));
+  }
+  EXPECT_TRUE(va == vb)
+      << "identically-seeded injectors diverged, or overrides drew words";
+  // At these probabilities every action fires in 600 draws (each is a
+  // deterministic function of the seed, so this can never flake).
+  EXPECT_GT(a.resets(), 0u);
+  EXPECT_GT(a.stalls(), 0u);
+  EXPECT_GT(a.truncates(), 0u);
+  EXPECT_GT(a.delays(), 0u);
+  // Counters see overrides too: b took every one of a's stream resets
+  // plus kJudgments pinned ones.
+  EXPECT_EQ(b.resets(), a.resets() + kJudgments);
+  EXPECT_EQ(b.stalls(), a.stalls());
+  EXPECT_EQ(b.truncates(), a.truncates());
+  EXPECT_EQ(b.delays(), a.delays());
+}
+
+TEST(KvServerFaults, ProbabilisticCampaignRecoversEverything) {
+  // Randomized-probability mode end to end: every response is judged by
+  // the injector's own seeded stream — a mix of connection kills (reset,
+  // truncate) and benign delays lands at unplanned points in the run,
+  // including mid-window and on retries. The hardened client must finish
+  // every op with nothing abandoned (run_against_fault asserts this),
+  // twice: the second campaign is a rerun of the same seed, so recovery
+  // is a reproducible property of the deployment, not a lucky
+  // interleaving.
+  FaultInjector::Config fcfg;
+  fcfg.reset_prob = 0.02;
+  fcfg.truncate_prob = 0.02;
+  fcfg.delay_prob = 0.08;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector(fcfg);
+    const ClientStats stats = run_against_fault(injector, 2, 200);
+    // The first 200 verdicts are a pure function of the seed, so the
+    // campaign is guaranteed a healthy fault mix on every rerun.
+    const std::uint64_t fired =
+        injector.resets() + injector.truncates() + injector.delays();
+    EXPECT_GE(fired, 5u) << "run " << run;
+    EXPECT_EQ(injector.stalls(), 0u) << "run " << run;
+    if (injector.resets() + injector.truncates() > 0) {
+      EXPECT_GE(stats.reconnects, 1u) << "run " << run;
+    }
+  }
+}
+
+// ---- adversarial clients (protocol robustness over real sockets) ----------
+
+int raw_connect(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void send_all(int fd, const unsigned char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t sent = ::send(fd, data + off, n - off, 0);
+    ASSERT_GT(sent, 0);
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+// Blocks until one full response frame decodes off `fd`.
+bool read_frame(int fd, FrameDecoder& decoder, Frame& out) {
+  for (;;) {
+    if (decoder.next(out) == FrameDecoder::Result::kFrame) return true;
+    unsigned char buf[64];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(KvServerAdversarial, BadOpcodeCondemnsOnlyThatConnection) {
+  serve::KvService service(service_config(2, 1, replica::DrawPath::kMask));
+  KvServer server(KvServer::Config{}, service);
+  server.start();
+  service.start();
+
+  // A healthy pipelined client shares the server with the adversary for
+  // the whole attack.
+  Client::Config cfg;
+  cfg.port = server.port();
+  Client client(cfg);
+  client.start();
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    client.send(i % 5, static_cast<std::int64_t>(i), (i % 2) == 0,
+                client.now_ns());
+  }
+
+  // Length-valid frame, every opcode bit set: decodes far enough to name
+  // the opcode unknown, which condemns the stream.
+  const int fd = raw_connect(server.port());
+  unsigned char wire[kFrameBytes];
+  Frame probe;
+  probe.op = Op::kGet;
+  probe.request_id = 1;
+  encode_frame(probe, wire);
+  wire[7] = kOpMask;  // opcode 0x3f: not a v1 Op
+  send_all(fd, wire, sizeof(wire));
+  char drain[64];
+  ssize_t n;
+  while ((n = ::recv(fd, drain, sizeof(drain), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);  // orderly close, not a hang or a crash
+  ::close(fd);
+  EXPECT_GE(server.protocol_errors(), 1u);
+
+  // The healthy connection never noticed.
+  client.drain();
+  EXPECT_EQ(client.received(), 20u);
+  client.stop();
+  service.stop_and_drain();
+  server.stop();
+}
+
+TEST(KvServerAdversarial, OversizedBodyLengthCondemnsAfterFourBytes) {
+  serve::KvService service(service_config(1, 1, replica::DrawPath::kMask));
+  KvServer server(KvServer::Config{}, service);
+  server.start();
+  service.start();
+
+  // A length prefix promising a 2 GiB body: the server must condemn on
+  // the prefix alone instead of buffering toward a frame that will never
+  // arrive (the slow-memory-exhaustion shape of a length-prefix
+  // protocol attack).
+  const int fd = raw_connect(server.port());
+  const unsigned char huge_len[4] = {0xff, 0xff, 0xff, 0x7f};
+  send_all(fd, huge_len, sizeof(huge_len));
+  char drain[64];
+  ssize_t n;
+  while ((n = ::recv(fd, drain, sizeof(drain), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  EXPECT_GE(server.protocol_errors(), 1u);
+
+  // The listener survived the attack.
+  Client::Config cfg;
+  cfg.port = server.port();
+  Client client(cfg);
+  client.start();
+  client.send(3, 33, false, client.now_ns());
+  client.drain();
+  EXPECT_EQ(client.received(), 1u);
+  client.stop();
+  service.stop_and_drain();
+  server.stop();
+}
+
+TEST(KvServerAdversarial, ReplayedRequestIdsEachGetTheirOwnResponse) {
+  serve::KvService service(service_config(2, 1, replica::DrawPath::kMask));
+  KvServer server(KvServer::Config{}, service);
+  server.start();
+  service.start();
+
+  // request_id is an opaque echo, not a dedup key: a client replaying an
+  // id must get one response per request, all echoing the replayed id.
+  const int fd = raw_connect(server.port());
+  FrameDecoder decoder;
+  unsigned char wire[kFrameBytes];
+  Frame req;
+  Frame resp;
+
+  req.op = Op::kPut;
+  req.request_id = 5;
+  req.key = 9;
+  req.value = 99;
+  encode_frame(req, wire);
+  send_all(fd, wire, sizeof(wire));
+  ASSERT_TRUE(read_frame(fd, decoder, resp));
+  EXPECT_EQ(resp.request_id, 5u);
+
+  req.op = Op::kGet;
+  req.value = 0;
+  for (int replay = 0; replay < 2; ++replay) {
+    encode_frame(req, wire);
+    send_all(fd, wire, sizeof(wire));
+  }
+  for (int replay = 0; replay < 2; ++replay) {
+    ASSERT_TRUE(read_frame(fd, decoder, resp));
+    EXPECT_TRUE(resp.response);
+    EXPECT_EQ(resp.request_id, 5u);
+    // Majority quorums always intersect: both replays read the write.
+    EXPECT_TRUE(resp.found);
+    EXPECT_EQ(resp.value, 99);
+  }
+  ::close(fd);
+  EXPECT_EQ(server.protocol_errors(), 0u);
+  service.stop_and_drain();
+  server.stop();
+}
+
+TEST(KvServerAdversarial, SharedRequestIdsStayOnTheirOwnConnections) {
+  serve::KvService service(service_config(2, 1, replica::DrawPath::kMask));
+  KvServer server(KvServer::Config{}, service);
+  server.start();
+  service.start();
+
+  // Two connections using the same request_id for different keys: each
+  // socket must receive exactly its own answer — any cross-connection
+  // response routing or shared per-id state would swap the payloads.
+  const int fd_a = raw_connect(server.port());
+  const int fd_b = raw_connect(server.port());
+  FrameDecoder dec_a;
+  FrameDecoder dec_b;
+  unsigned char wire[kFrameBytes];
+  Frame req;
+  Frame resp;
+
+  req.op = Op::kPut;
+  req.request_id = 7;
+  req.key = 40;
+  req.value = 4040;
+  encode_frame(req, wire);
+  send_all(fd_a, wire, sizeof(wire));
+  ASSERT_TRUE(read_frame(fd_a, dec_a, resp));
+
+  req.op = Op::kGet;
+  req.request_id = 7;
+  req.key = 40;  // written: only A's key holds a record
+  req.value = 0;
+  encode_frame(req, wire);
+  send_all(fd_a, wire, sizeof(wire));
+  req.key = 41;  // never written
+  encode_frame(req, wire);
+  send_all(fd_b, wire, sizeof(wire));
+
+  ASSERT_TRUE(read_frame(fd_a, dec_a, resp));
+  EXPECT_EQ(resp.request_id, 7u);
+  EXPECT_TRUE(resp.found);
+  EXPECT_EQ(resp.value, 4040);
+  ASSERT_TRUE(read_frame(fd_b, dec_b, resp));
+  EXPECT_EQ(resp.request_id, 7u);
+  EXPECT_FALSE(resp.found);
+
+  ::close(fd_a);
+  ::close(fd_b);
+  EXPECT_EQ(server.protocol_errors(), 0u);
+  service.stop_and_drain();
+  server.stop();
+}
+
 }  // namespace
 }  // namespace pqs::net

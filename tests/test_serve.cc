@@ -277,5 +277,125 @@ TEST(KvService, ResetLatencyClearsHistogramsButKeepsAggregates) {
   EXPECT_EQ(service.fold_aggregates().writes, 14u);
 }
 
+// ---- Byzantine faults combined with churn ---------------------------------
+
+// A forging server AND a reconfiguring universe in one run: slot 3 turns
+// Byzantine (fabricated records with enormous timestamps) while slot 15
+// joins and later leaves, all as in-band requests under a live write/read
+// stream. Dissemination reads reject the forgeries, and every view along
+// the way keeps deterministic intersection (9-of-16 majority: 9 + 9 > 16
+// with 15 or 16 live), so read-your-writes must hold through the whole
+// campaign — no stale reads, no empty reads — while the drain stays
+// exactly-once (served requests in the histogram; churn and fault events
+// in the aggregates only).
+TEST(KvService, ByzantineFaultsUnderChurnKeepReadYourWrites) {
+  KvService::Config cfg = base_config(1, 1, replica::DrawPath::kMask);
+  cfg.quorums = majority(16);  // 9-of-16 over capacity 16
+  cfg.dynamic_membership = true;
+  cfg.initial_live = 15;  // slot 15 starts dead, ready to join
+  cfg.read_mode = replica::ReadMode::kDissemination;
+  KvService service(cfg);
+  Request req;
+  service.start();
+  auto write = [&](std::uint64_t key) {
+    req.key = key;
+    req.value = static_cast<std::int64_t>(key) + 1000;
+    req.is_read = false;
+    service.submit(req);
+  };
+  auto read = [&](std::uint64_t key) {
+    req.key = key;
+    req.is_read = true;
+    service.submit(req);
+  };
+  for (std::uint64_t key = 0; key < 20; ++key) write(key);
+  // Slot 3 starts forging mid-stream; reads keep consulting it (9 of 15
+  // live servers per quorum) and must discard its fabrications.
+  service.submit_fault(0, FaultKind::kForge, 3);
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    write(20 + key);
+    read(key);
+  }
+  service.submit_churn(0, ChurnKind::kJoin, 15);  // epoch 1, live 16
+  for (std::uint64_t key = 0; key < 40; ++key) read(key);
+  service.submit_fault(0, FaultKind::kCorrect, 3);  // slot 3 heals
+  service.submit_churn(0, ChurnKind::kLeave, 15);   // epoch 2, live 15
+  for (std::uint64_t key = 0; key < 40; ++key) read(key);
+  service.stop_and_drain();
+
+  const ShardAggregate fold = service.fold_aggregates();
+  EXPECT_EQ(fold.writes, 40u);
+  EXPECT_EQ(fold.reads, 100u);
+  EXPECT_EQ(fold.churn_events, 2u);
+  EXPECT_EQ(fold.membership_epoch, 2u);
+  EXPECT_EQ(fold.fault_events, 2u);
+  // The forger sat in many read quorums while active; dissemination
+  // rejected every fabricated record it returned.
+  EXPECT_GT(fold.rejected_forgeries, 0u);
+  // Read-your-writes survived the combined campaign.
+  EXPECT_EQ(fold.stale_reads, 0u);
+  EXPECT_EQ(fold.empty_reads, 0u);
+  // Exactly-once drain: served requests land in the histogram; churn and
+  // fault events in neither the histogram nor the request counters.
+  EXPECT_EQ(service.merged_histogram().count(), 140u);
+}
+
+// The bit-identity contract survives Byzantine faults and churn at once:
+// a fixed interleaving of requests, kReplace churn, and forge/heal flips
+// (single producer, so every shard's subsequence is fixed) yields
+// identical per-shard aggregates — forgery rejections, fault events,
+// churn events, and final epochs included — across worker counts and
+// draw paths.
+TEST(KvService, ByzantineChurnAggregatesBitIdenticalAcrossWorkersAndPaths) {
+  constexpr std::uint64_t kOps = 3000;
+  using replica::DrawPath;
+  auto run = [&](std::uint32_t workers, DrawPath path) {
+    KvService::Config cfg = base_config(4, workers, path);
+    cfg.dynamic_membership = true;
+    cfg.read_mode = replica::ReadMode::kDissemination;
+    KvService service(cfg);
+    workload::OpenLoopSpec spec;
+    spec.keys = 64;
+    spec.zipf_exponent = 0.99;
+    workload::OpenLoopGenerator gen(spec, 123);
+    workload::Operation op;
+    Request req;
+    service.start();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      gen.next(op);
+      req.key = op.key;
+      req.value = op.value;
+      req.scheduled_ns = service.now_ns();
+      req.is_read = op.is_read;
+      service.submit(req);
+      // One replacement on a rotating shard every 100 requests...
+      if (i % 100 == 99) {
+        service.submit_churn(static_cast<std::uint32_t>((i / 100) % 4),
+                             ChurnKind::kReplace);
+      }
+      // ...and a forge/heal flip of a rotating slot every 250.
+      if (i % 250 == 249) {
+        const auto flip = i / 250;
+        service.submit_fault(static_cast<std::uint32_t>(flip % 4),
+                             (flip % 2) == 0 ? FaultKind::kForge
+                                             : FaultKind::kCorrect,
+                             flip % 3);
+      }
+    }
+    service.stop_and_drain();
+    return service.aggregates();
+  };
+  const auto base = run(1, DrawPath::kMask);
+  ShardAggregate fold;
+  for (const auto& a : base) fold += a;
+  EXPECT_EQ(fold.churn_events, kOps / 100);
+  EXPECT_EQ(fold.fault_events, kOps / 250);
+  EXPECT_GT(fold.rejected_forgeries, 0u);
+  EXPECT_EQ(fold.reads + fold.writes, kOps);
+  EXPECT_EQ(base, run(2, DrawPath::kMask));
+  EXPECT_EQ(base, run(8, DrawPath::kMask));
+  EXPECT_EQ(base, run(2, DrawPath::kAllocating));
+}
+
 }  // namespace
 }  // namespace pqs::serve
